@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one experiment from :mod:`repro.core.experiments`
+exactly once under pytest-benchmark (these are simulations, not
+microbenchmarks — wall time is reported for reproducibility tracking,
+the printed tables are the result), prints the reproduced table, and
+asserts the paper's qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_rows(title, rows, order=None):
+    """Render experiment rows as the reproduction table."""
+    from repro.core.report import format_table
+    if not rows:
+        print(f"{title}\n  (no rows)")
+        return
+    headers = order or list(rows[0].keys())
+    table = format_table(headers, [[r.get(h) for h in headers] for r in rows],
+                         title=title)
+    print("\n" + table + "\n")

@@ -1,0 +1,39 @@
+"""E-DEAUTH — §4: forcing disassociation until the rogue wins.
+
+Expected shape: with no injection the well-placed victim is never
+captured; capture probability rises with deauth rate (→1), and
+time-to-capture falls.  Targeted unicast at a given rate is at least
+as effective as broadcast.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_deauth_capture
+
+
+def test_deauth_capture(benchmark):
+    result = run_once(benchmark, exp_deauth_capture, trials=3, horizon_s=60.0)
+    rows = result["rows"]
+    print_rows("E-DEAUTH: victim capture vs deauth injection rate", rows)
+
+    baseline = next(r for r in rows if r["deauth_rate_hz"] == 0.0)
+    assert baseline["capture_rate"] == 0.0
+
+    targeted = sorted((r for r in rows if r["targeted"] and r["deauth_rate_hz"] > 0),
+                      key=lambda r: r["deauth_rate_hz"])
+    rates = [r["capture_rate"] for r in targeted]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:])), rates
+    assert rates[-1] == 1.0  # a fast storm always captures
+
+    # Faster injection captures sooner (where both capture).
+    fastest = targeted[-1]
+    slower_with_time = [r for r in targeted[:-1]
+                        if r["mean_time_to_capture_s"] is not None]
+    if slower_with_time and fastest["mean_time_to_capture_s"] is not None:
+        assert fastest["mean_time_to_capture_s"] <= \
+            max(r["mean_time_to_capture_s"] for r in slower_with_time)
+
+    fast_targeted = next(r for r in rows if r["deauth_rate_hz"] == 10.0
+                         and r["targeted"])
+    broadcast = next(r for r in rows if not r["targeted"])
+    assert fast_targeted["capture_rate"] >= broadcast["capture_rate"] - 1e-9

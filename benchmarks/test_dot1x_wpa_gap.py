@@ -1,0 +1,26 @@
+"""E-8021X — §2.2: "there is no authentication of the network".
+
+Expected shape: the 802.1X supplicant accepts a rogue authenticator
+that verifies nothing (EAP-Success is believed from anyone); WPA-PSK
+rejects the keyless rogue but accepts any rogue holding the shared
+PSK — i.e. any valid client, the paper's residual MITM.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_dot1x_wpa_gap
+
+
+def test_dot1x_wpa_gap(benchmark):
+    result = run_once(benchmark, exp_dot1x_wpa_gap, seed=1)
+    rows = result["rows"]
+    print_rows("E-8021X: what the client ends up trusting", rows)
+
+    by_net = {r["network"]: r for r in rows}
+    assert by_net["802.1X legitimate AP"]["client_accepts_network"]
+    # The flaw: the rogue with NO credentials is accepted identically.
+    assert by_net["802.1X ROGUE AP (no server)"]["client_accepts_network"]
+    assert not by_net["802.1X ROGUE AP (no server)"]["network_authenticated_to_client"]
+    # WPA's partial fix and its §2.2 residual hole.
+    assert not by_net["WPA-PSK ROGUE, outsider"]["client_accepts_network"]
+    assert by_net["WPA-PSK ROGUE, valid client"]["client_accepts_network"]

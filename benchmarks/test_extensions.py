@@ -1,0 +1,36 @@
+"""X-PATH / X-CONTAIN — extension experiments (§6 future work, built).
+
+Not reproductions of paper figures: these quantify the two "detecting
+and countering" capabilities the paper's §6 promises as future work —
+the victim-side first-hop probe and the WIDS containment sensor.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_containment, exp_first_hop_detection
+
+
+def test_first_hop_detection(benchmark):
+    result = run_once(benchmark, exp_first_hop_detection, trials=4)
+    rows = result["rows"]
+    print_rows("X-PATH: TTL=1 first-hop probe", rows)
+
+    rogue = next(r for r in rows if r["network"] == "rogue in path")
+    clean = next(r for r in rows if r["network"] == "clean")
+    assert rogue["probe_flags_rogue"] == 1.0   # the rogue always names itself
+    assert clean["probe_flags_rogue"] == 0.0   # and clean paths never alarm
+
+
+def test_containment(benchmark):
+    result = run_once(benchmark, exp_containment, trials=3)
+    rows = result["rows"]
+    print_rows("X-CONTAIN: eviction vs containment injection rate", rows)
+
+    baseline = next(r for r in rows if r["containment_rate_hz"] == 0.0)
+    assert baseline["eviction_rate"] == 0.0    # captured victims stay captured
+
+    active = sorted((r for r in rows if r["containment_rate_hz"] > 0),
+                    key=lambda r: r["containment_rate_hz"])
+    assert all(r["eviction_rate"] == 1.0 for r in active)
+    times = [r["mean_time_to_evict_s"] for r in active]
+    assert times[-1] <= times[0] + 1.0         # faster injection, faster eviction

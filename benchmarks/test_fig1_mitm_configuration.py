@@ -1,0 +1,27 @@
+"""FIG1 — Figure 1's rogue-AP configuration, executed and validated.
+
+Expected shape (paper §4/§4.1): the attacker associates upstream as a
+valid client; a nearby victim's stock strongest-RSSI selection lands
+on the rogue's channel under the cloned SSID/BSSID; the parprouted
+bridge is transparent (gateway and WAN reachable).  The AP-selection
+ablation shows *why*: a first-heard policy can dodge this particular
+geometry, stock drivers do not.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import fig1_mitm_configuration
+
+
+def test_fig1_mitm_configuration(benchmark):
+    result = run_once(benchmark, fig1_mitm_configuration, seed=1)
+    rows = result["rows"]
+    print_rows("FIG1: rogue-AP capture (ablation: AP-selection policy)", rows)
+
+    stock = next(r for r in rows if r["policy"] == "strongest-rssi")
+    assert stock["rogue_upstream_associated"]
+    assert stock["victim_channel"] == 6          # the rogue's channel
+    assert stock["victim_bssid_cloned"]
+    assert stock["captured_by_rogue"]
+    assert stock["gateway_reachable"] and stock["wan_reachable"]
+    assert stock["bridge_rtt_ms"] < 50           # bridge is transparent

@@ -1,0 +1,32 @@
+"""FIG2 — Figure 2's software-download MITM detail.
+
+Expected shape (paper §4.1–4.2): against the rogue, the page's link
+and MD5SUM are rewritten (2 netsed replacements), the victim's
+integrity check PASSES, and the trojan executes; the control arm is
+clean; traffic not matching the DNAT rule passes through untouched
+("No Rule Match" path of the figure).
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import fig2_download_mitm
+
+
+def test_fig2_download_mitm(benchmark):
+    result = run_once(benchmark, fig2_download_mitm, seed=1)
+    rows = result["rows"]
+    print_rows("FIG2: the §4.1 download MITM", rows)
+    print(f"  'No Rule Match' pass-through intact: "
+          f"{result['no_rule_match_passthrough']}\n")
+
+    control = next(r for r in rows if "control" in r["arm"])
+    attacked = next(r for r in rows if "netsed" in r["arm"])
+
+    assert not control["compromised"]
+    assert control["md5_check_passed"] and not control["trojaned"]
+
+    assert attacked["link_rewritten"]
+    assert attacked["md5_check_passed"]      # the punchline: the check passes
+    assert attacked["trojaned"] and attacked["compromised"]
+    assert attacked["netsed_replacements"] >= 2
+    assert result["no_rule_match_passthrough"]

@@ -1,0 +1,28 @@
+"""FIG3 — Figure 3's VPN through the compromised wireless network.
+
+Expected shape (paper §5): the identical rogue+netsed setup
+compromises the bare client but never even *sees* a port-80 flow from
+the VPN client; the VPN client's download is clean.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import fig3_vpn_proxy
+
+
+def test_fig3_vpn_proxy(benchmark):
+    result = run_once(benchmark, fig3_vpn_proxy, seed=1)
+    rows = result["rows"]
+    print_rows("FIG3: VPN proxy through the rogue", rows)
+
+    bare = next(r for r in rows if r["arm"] == "bare client")
+    vpn = next(r for r in rows if r["arm"] == "VPN client")
+
+    assert bare["on_rogue"] and vpn["on_rogue"]  # both captured at L2
+    assert bare["compromised"]
+    assert bare["netsed_saw_flows"] >= 1
+
+    assert vpn["vpn_connected"]
+    assert not vpn["compromised"]
+    assert vpn["netsed_saw_flows"] == 0          # nothing to rewrite
+    assert vpn["tunnelled_packets"] > 0

@@ -1,0 +1,22 @@
+"""E-MAC — §2.1: MAC filtering "keeps honest people honest".
+
+Expected shape: the honest outsider is denied; sniffing yields a valid
+MAC and the spoofing outsider is admitted.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_mac_filtering
+
+
+def test_mac_filtering(benchmark):
+    result = run_once(benchmark, exp_mac_filtering, seed=1)
+    rows = result["rows"]
+    print_rows("E-MAC: MAC filtering vs sniff-and-spoof", rows)
+
+    honest = next(r for r in rows if "honest" in r["attacker"])
+    spoof = next(r for r in rows if "spoof" in r["attacker"])
+    assert not honest["admitted"]
+    assert honest["denials_logged"] >= 1
+    assert spoof["harvested_valid_mac"]
+    assert spoof["admitted"]

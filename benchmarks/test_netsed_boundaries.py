@@ -1,0 +1,39 @@
+"""E-NETSED — §4.2: "netsed will not match strings that cross packet
+boundaries", and the fix the paper says is easy.
+
+Expected shape: per-segment hit rate is 0 when segments are smaller
+than the pattern, climbs toward 1 as segments grow (≈ 1 - (L-1)/MSS
+for pattern length L), and the streaming rewriter is 1.0 everywhere.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_netsed_boundaries
+
+
+def test_netsed_boundaries(benchmark):
+    result = run_once(benchmark, exp_netsed_boundaries, trials=300)
+    rows = result["rows"]
+    L = result["pattern_len"]
+    print_rows(f"E-NETSED: rewrite hit rate vs segment size (pattern {L} bytes)",
+               rows)
+
+    per_seg = sorted((r for r in rows if "netsed" in r["rewriter"]),
+                     key=lambda r: r["segment_size"])
+    stream = [r for r in rows if r["rewriter"] == "streaming"]
+
+    # Streaming is perfect at every segment size.
+    assert all(r["hit_rate"] == 1.0 for r in stream)
+
+    # Per-segment: zero below the pattern length, monotone up to ~1.
+    for r in per_seg:
+        if r["segment_size"] < L:
+            assert r["hit_rate"] == 0.0, r
+    rates = [r["hit_rate"] for r in per_seg]
+    assert all(a <= b + 0.07 for a, b in zip(rates, rates[1:])), rates
+    assert per_seg[-1]["hit_rate"] > 0.98  # 1460-byte MSS nearly always hits
+
+    # The analytic miss rate (L-1)/MSS holds to first order.
+    mid = next(r for r in per_seg if r["segment_size"] == 64)
+    expected = 1 - (L - 1) / 64
+    assert abs(mid["hit_rate"] - expected) < 0.1

@@ -1,0 +1,38 @@
+"""E-PROM — §3.2: network promiscuity compounds per-visit risk.
+
+Expected shape: the measured per-hostile-visit compromise probability
+is ~1 for an unpatched client (stage 1, full simulation); across K
+roamed domains with hostile fraction p the compromise probability
+follows 1-(1-p·s)^K — rising in both p and K — while the always-on
+VPN client's stays at zero.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_network_promiscuity
+
+
+def test_network_promiscuity(benchmark):
+    result = run_once(benchmark, exp_network_promiscuity,
+                      stage1_seeds=(1, 2, 3), chain_trials=2000)
+    rows = result["rows"]
+    s = result["per_visit_compromise_prob"]
+    print(f"\n  stage 1 (full sim): per-hostile-visit compromise = {s}")
+    print_rows("E-PROM: P(compromised before returning home)", rows)
+
+    assert s >= 0.9  # the hostile hotspot essentially always lands
+
+    for p in (0.1, 0.3):
+        curve = [r for r in rows if r["hostile_fraction"] == p]
+        curve.sort(key=lambda r: r["domains_visited"])
+        probs = [r["p_compromised_no_vpn"] for r in curve]
+        assert all(a <= b + 0.03 for a, b in zip(probs, probs[1:])), probs
+        # Matches the analytic expression within sampling error.
+        for r in curve:
+            assert abs(r["p_compromised_no_vpn"] - r["analytic"]) < 0.05
+        # VPN arm flat at zero.
+        assert all(r["p_compromised_always_on_vpn"] == 0.0 for r in curve)
+    # More hostility, more risk, at fixed K.
+    k10 = {r["hostile_fraction"]: r["p_compromised_no_vpn"]
+           for r in rows if r["domains_visited"] == 10}
+    assert k10[0.3] > k10[0.1]

@@ -1,0 +1,32 @@
+"""E-CNN — §5.1: "the trust he places in the website provider is
+irrelevant" on a hostile segment.
+
+Expected shape: the honest hotspot never tampers; the hostile hotspot
+injects exploit script into the trusted site's page; an unpatched
+client is compromised, a patched one is not (but was still served
+tampered content).
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_trusted_website
+
+
+def test_trusted_website(benchmark):
+    result = run_once(benchmark, exp_trusted_website, seed=1)
+    rows = result["rows"]
+    print_rows("E-CNN: browsing a trusted site through a hotspot", rows)
+
+    honest = next(r for r in rows if "honest" in r["arm"])
+    hostile_unpatched = next(r for r in rows if "hostile" in r["arm"]
+                             and "unpatched" in r["arm"])
+    hostile_patched = next(r for r in rows if r["arm"].endswith("patched")
+                           and "un" not in r["arm"].split(",")[1])
+
+    assert all(r["page_loaded"] for r in rows)
+    assert not honest["tampered_in_flight"] and not honest["compromised"]
+    assert hostile_unpatched["tampered_in_flight"]
+    assert hostile_unpatched["exploit_executed"]
+    assert hostile_unpatched["compromised"]
+    assert hostile_patched["tampered_in_flight"]
+    assert not hostile_patched["compromised"]

@@ -1,0 +1,53 @@
+"""E-VPNOH — §5.3: "any UDP traffic is subject to unnecessary
+retransmission by TCP" in the PPP-over-SSH tunnel.
+
+Expected shape, as radio loss grows:
+
+* native UDP: delivery falls with loss, latency stays flat (drops are
+  just drops);
+* PPP-over-SSH (TCP transport): delivery stays ~1 (TCP retransmits —
+  the "unnecessary retransmission") but tail latency explodes as the
+  outer TCP's RTO/backoff head-of-line-blocks the tunnel;
+* ESP-over-UDP: tracks native behaviour — the comparison the paper's
+  future-work VPN evaluation would have drawn.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_vpn_overhead
+
+
+def test_vpn_overhead(benchmark):
+    result = run_once(benchmark, exp_vpn_overhead,
+                      loss_rates=(0.0, 0.05, 0.10, 0.20))
+    rows = result["rows"]
+    print_rows("E-VPNOH: CBR UDP through three transports vs radio loss", rows)
+
+    def pick(loss, transport):
+        return next(r for r in rows
+                    if r["radio_loss"] == loss and r["transport"] == transport)
+
+    clean_tcp = pick(0.0, "ppp-ssh (tcp)")
+    mild_tcp = pick(0.05, "ppp-ssh (tcp)")
+    lossy_tcp = pick(0.20, "ppp-ssh (tcp)")
+    lossy_native = pick(0.20, "native")
+    lossy_esp = pick(0.20, "esp (udp)")
+
+    # Under mild loss the TCP tunnel still delivers everything — the
+    # "unnecessary retransmission" — at the price of latency spikes.
+    assert mild_tcp["delivery"] > 0.95
+    assert mild_tcp["p95_ms"] > 10 * max(clean_tcp["p95_ms"], 1.0)
+    # Native/ESP lose roughly what the radio loses (two air crossings)
+    # but their latency stays flat.
+    assert lossy_native["delivery"] < 0.9
+    assert lossy_esp["delivery"] < 0.9
+    assert lossy_esp["p95_ms"] < 5.0
+    # The full meltdown at heavy loss: the tunnel's backlog grows
+    # without bound — seconds of queueing delay, and most datagrams
+    # don't arrive within the measurement window at all.
+    assert lossy_tcp["p95_ms"] > 1000.0
+    assert lossy_tcp["p95_ms"] > 100 * lossy_esp["p95_ms"]
+    assert lossy_tcp["delivery"] < lossy_esp["delivery"]
+    # Clean-path sanity: all three transports behave at zero loss.
+    for transport in ("native", "ppp-ssh (tcp)", "esp (udp)"):
+        assert pick(0.0, transport)["delivery"] > 0.97

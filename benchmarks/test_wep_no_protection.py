@@ -1,0 +1,21 @@
+"""E-WEP — §2.1: WEP "provides no protection what so ever" here.
+
+Expected shape: compromise succeeds identically with WEP off, with WEP
+on when the rogue is a valid client, and with WEP on after a passive
+FMS key recovery.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_wep_no_protection
+
+
+def test_wep_no_protection(benchmark):
+    result = run_once(benchmark, exp_wep_no_protection, seed=1)
+    rows = result["rows"]
+    print_rows("E-WEP: WEP vs the rogue-AP MITM", rows)
+
+    assert len(rows) == 3
+    for row in rows:
+        assert row["victim_on_rogue"], row
+        assert row["compromised"], row

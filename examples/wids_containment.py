@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""§6 future work, built: detect the rogue (§2.3) and *counter* it.
+
+A WIDS sensor watches the air with the sequence-control monitor; when
+the Fig. 1 rogue appears (authorized BSSID beaconing on an unauthorized
+channel), the sensor contains it with broadcast deauthentication into
+the rogue's BSS — evicting the captured victim back to the legitimate
+AP and keeping it there.
+
+Also shown: the honest limitation.  Containment is itself spoofed
+deauth; it works only because 802.11b management frames are
+unauthenticated, and it is an arms race the attacker can rejoin.
+
+Run:  python examples/wids_containment.py
+"""
+
+from repro.core.scenario import build_corp_scenario
+from repro.defense.containment import ContainmentSensor
+from repro.radio.propagation import Position
+
+
+def main() -> None:
+    scenario = build_corp_scenario(seed=4)
+    sim = scenario.sim
+
+    victim = scenario.add_victim()
+    sim.run_for(5.0)
+    print(f"victim captured by the rogue: channel {victim.associated_channel}")
+
+    print("\n== the WIDS sensor comes online ==")
+    sensor = ContainmentSensor(
+        sim, scenario.medium, Position(35.0, 5.0),
+        authorized=[(scenario.ap.bssid, 1)],
+        containment_rate_hz=10.0)
+    sensor.start()
+
+    evicted_at = None
+    for _ in range(60):
+        sim.run_for(1.0)
+        if not sensor.actions:
+            continue
+        if evicted_at is None and victim.associated_channel == 1:
+            evicted_at = sim.now
+            break
+    action = sensor.actions[0]
+    print(f"  t={action.time:.1f}s  CONTAIN {action.bssid} ch{action.channel}")
+    print(f"    reason: {action.reason}")
+    print(f"  t={evicted_at:.1f}s  victim evicted back to the legitimate AP "
+          f"(channel {victim.associated_channel})")
+    print(f"  containment deauths injected so far: {sensor.deauths_injected}")
+
+    print("\n== holding the line ==")
+    sim.run_for(20.0)
+    print(f"  20s later the victim is still on channel "
+          f"{victim.associated_channel} (contained BSSes: "
+          f"{[(str(b), ch) for b, ch in sensor.containing]})")
+
+    print("\nLimitation (documented in repro/defense/containment.py): this is")
+    print("spoofed deauth fighting spoofed deauth — an arms race, not a fix.")
+    print("The §5 VPN protects the client regardless of who wins it.")
+
+
+if __name__ == "__main__":
+    main()

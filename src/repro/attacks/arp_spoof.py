@@ -1,0 +1,82 @@
+"""ARP cache poisoning — the wired MITM baseline.
+
+§1.2: "In a wired network, one either needs to spoof DNS requests or
+ARP requests or compromise a valid gateway machine to obtain access to
+the clients traffic."  This module is the ARP option: the attacker —
+who must already have a port on the victim's LAN — tells the victim
+that the gateway's IP is at the attacker's MAC, and the gateway that
+the victim's IP is too, then forwards between them.
+
+E-WIRED uses it to show the paper's point: the wired attack works but
+needs *inside* access; the wireless one needs only proximity.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.host import Host
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.arp import ArpPacket
+from repro.netstack.ethernet import ETHERTYPE_ARP
+from repro.dot11.mac import MacAddress
+
+__all__ = ["ArpSpoofer"]
+
+
+class ArpSpoofer:
+    """Bidirectional ARP poisoning between a victim and its gateway."""
+
+    def __init__(
+        self,
+        attacker: Host,
+        iface_name: str,
+        *,
+        victim_ip: "IPv4Address | str",
+        victim_mac: MacAddress,
+        gateway_ip: "IPv4Address | str",
+        gateway_mac: MacAddress,
+        interval_s: float = 1.0,
+    ) -> None:
+        self.host = attacker
+        self.iface = attacker.interfaces[iface_name]
+        self.victim_ip = IPv4Address(victim_ip)
+        self.victim_mac = victim_mac
+        self.gateway_ip = IPv4Address(gateway_ip)
+        self.gateway_mac = gateway_mac
+        self.interval_s = interval_s
+        self.poisons_sent = 0
+        self._stop = None
+
+    def start(self) -> None:
+        """Begin poisoning and enable relay so the victim stays online.
+
+        Forwarding matters operationally: a blackholing MITM is noticed
+        immediately; a forwarding one is silent.
+        """
+        self.host.ip_forward = True
+        # Pin true next-hops so our own relays don't use poisoned state.
+        table = self.host.arp_tables[self.iface.name]
+        table.learn(self.victim_ip, self.victim_mac, self.host.sim.now)
+        table.learn(self.gateway_ip, self.gateway_mac, self.host.sim.now)
+        self.host.routing.add_host(self.victim_ip, self.iface.name)
+        self.host.routing.add_host(self.gateway_ip, self.iface.name)
+        self._poison()
+        self._stop = self.host.sim.every(self.interval_s, self._poison)
+        self.host.sim.trace.emit("arpspoof.start", self.host.name,
+                                 victim=str(self.victim_ip), gw=str(self.gateway_ip))
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def _poison(self) -> None:
+        me = self.iface.mac
+        # Victim learns: gateway-IP is-at attacker-MAC.
+        to_victim = ArpPacket.reply(sender_mac=me, sender_ip=self.gateway_ip,
+                                    target_mac=self.victim_mac, target_ip=self.victim_ip)
+        self.iface.send_frame_to(self.victim_mac, ETHERTYPE_ARP, to_victim.to_bytes())
+        # Gateway learns: victim-IP is-at attacker-MAC.
+        to_gateway = ArpPacket.reply(sender_mac=me, sender_ip=self.victim_ip,
+                                     target_mac=self.gateway_mac, target_ip=self.gateway_ip)
+        self.iface.send_frame_to(self.gateway_mac, ETHERTYPE_ARP, to_gateway.to_bytes())
+        self.poisons_sent += 2

@@ -1,0 +1,93 @@
+"""DNS answer rewriting from the rogue's forwarding position.
+
+§4.2: "there are many variations on this attack."  This is the obvious
+one: instead of rewriting the HTTP stream (netsed), the in-path rogue
+rewrites DNS *answers* for chosen names, steering the victim's browser
+to an attacker server outright.  Compared to the netsed variant it is
+cruder (the victim's address bar — if it had one — and the page's
+published MD5SUM are not fixed up) but far simpler: one A record.
+
+Unlike :class:`repro.attacks.dns_spoof.DnsSpoofer` (which *races* the
+real server from a bystander position and needs query visibility),
+this attacker is the path: the genuine answer flows through its
+forwarding code and is modified, not outrun.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hosts.host import Host
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.dns import DNS_PORT, DnsMessage
+from repro.netstack.ipv4 import PROTO_UDP, IPv4Packet
+from repro.netstack.udp import UdpDatagram
+from repro.sim.errors import ProtocolError
+
+__all__ = ["DnsAnswerRewriter"]
+
+
+class DnsAnswerRewriter:
+    """Rewrite forwarded DNS answers for selected names.
+
+    Parameters
+    ----------
+    host:
+        The in-path box (the rogue gateway).
+    lies:
+        name → attacker IP.  Non-listed names pass through honestly —
+        selective lying is far harder to notice than a broken resolver.
+    """
+
+    def __init__(self, host: Host, lies: dict[str, "IPv4Address | str"]) -> None:
+        self.host = host
+        self.lies = {name.lower(): IPv4Address(ip) for name, ip in lies.items()}
+        self.rewritten = 0
+        self._original_receive = None
+        self.active = False
+
+    def install(self) -> "DnsAnswerRewriter":
+        if self.active:
+            return self
+        self._original_receive = self.host.receive_ip
+
+        def rewriting_receive(packet: IPv4Packet, iface) -> None:
+            self._original_receive(self._maybe_rewrite(packet), iface)
+
+        self.host.receive_ip = rewriting_receive  # type: ignore[method-assign]
+        self.active = True
+        return self
+
+    def remove(self) -> None:
+        if self.active and self._original_receive is not None:
+            self.host.receive_ip = self._original_receive  # type: ignore[method-assign]
+            self.active = False
+
+    # ------------------------------------------------------------------
+    def _maybe_rewrite(self, packet: IPv4Packet) -> IPv4Packet:
+        if packet.proto != PROTO_UDP:
+            return packet
+        try:
+            dgram = UdpDatagram.from_bytes(packet.payload, packet.src, packet.dst,
+                                           verify_checksum=False)
+        except ProtocolError:
+            return packet
+        if dgram.src_port != DNS_PORT:
+            return packet
+        try:
+            msg = DnsMessage.from_bytes(dgram.payload)
+        except ProtocolError:
+            return packet
+        if not msg.is_response or not msg.answers:
+            return packet
+        lie = self.lies.get(msg.name.lower())
+        if lie is None:
+            return packet
+        self.rewritten += 1
+        self.host.sim.trace.emit("dnsmitm.rewrite", self.host.name,
+                                 name=msg.name, lie=str(lie))
+        forged = DnsMessage(txn_id=msg.txn_id, name=msg.name,
+                            is_response=True, answers=(lie,))
+        new_dgram = UdpDatagram(src_port=dgram.src_port, dst_port=dgram.dst_port,
+                                payload=forged.to_bytes())
+        return packet.with_payload(new_dgram.to_bytes(packet.src, packet.dst))

@@ -1,0 +1,59 @@
+"""MAC address spoofing against address filters.
+
+§2.1: "Since MAC addresses can be changed from their factory default
+and valid MACs can be sniffed from the network it accomplishes nothing
+more than perhaps keeping honest people honest."
+
+§4: the outside attacker uses "a MAC address that he has observed by
+sniffing network traffic."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.sniffer import MonitorSniffer
+from repro.dot11.frames import FrameSubtype
+from repro.dot11.mac import MacAddress
+from repro.hosts.nic import WirelessInterface
+
+__all__ = ["observe_client_macs", "spoof_mac"]
+
+
+def observe_client_macs(sniffer: MonitorSniffer,
+                        bssid: Optional[MacAddress] = None) -> list[MacAddress]:
+    """Harvest station addresses that were seen *talking to* a BSS.
+
+    These are, by construction, addresses the AP's filter permits.
+    """
+    macs: list[MacAddress] = []
+    seen: set[MacAddress] = set()
+    for cap in sniffer.capture.select(subtype=FrameSubtype.DATA):
+        frame = cap.frame
+        if not frame.to_ds:
+            continue
+        if bssid is not None and frame.addr1 != bssid:
+            continue
+        sta = frame.addr2
+        if sta not in seen and not sta.is_multicast:
+            seen.add(sta)
+            macs.append(sta)
+    # Association traffic also names valid clients.
+    for cap in sniffer.capture.select(subtype=FrameSubtype.ASSOC_REQ, bssid=bssid):
+        sta = cap.frame.addr2
+        if sta not in seen:
+            seen.add(sta)
+            macs.append(sta)
+    return macs
+
+
+def spoof_mac(iface: WirelessInterface, mac: MacAddress) -> MacAddress:
+    """Override a NIC's address (``ifconfig wlan0 hw ether ...``).
+
+    Returns the factory address so tests can restore it.  Nothing in
+    the protocol resists this; only the §2.3 sequence-number detector
+    can notice two radios sharing an address.
+    """
+    original = iface.mac
+    iface.mac = mac
+    return original

@@ -1,0 +1,40 @@
+"""Trojaned binaries.
+
+"The net effect of doing these replacements is to replace the valid
+HTML link with a link to a trojaned version of the software desired by
+the client" (§4.1).  :func:`trojanize` produces that version: same
+name, different bytes, attacker payload marker — and therefore a
+different MD5, which is why the attack must also rewrite the page's
+published digest.
+"""
+
+from __future__ import annotations
+
+from repro.httpsim.content import Website
+from repro.httpsim.downloads import LEGIT_MAGIC, TROJAN_MAGIC
+
+__all__ = ["trojanize", "build_trojan_site"]
+
+
+def trojanize(binary: bytes) -> bytes:
+    """Wrap a legitimate binary with the trojan payload marker.
+
+    Keeps the original bytes (the trojan still has to *work* or the
+    victim notices), swapping only the provenance header.
+    """
+    if binary.startswith(LEGIT_MAGIC):
+        return TROJAN_MAGIC + binary[len(LEGIT_MAGIC):]
+    return TROJAN_MAGIC + binary
+
+
+def build_trojan_site(original_binary: bytes, binary_name: str = "file.tgz") -> tuple[Website, bytes, str]:
+    """The attacker's download host: serves the trojaned binary.
+
+    Returns (website, trojan_bytes, path).  §4.1's replacement link
+    points here: ``href=http:%2f%2f<attacker>%2ffile.tgz``.
+    """
+    trojan = trojanize(original_binary)
+    site = Website("evil-downloads")
+    path = f"/{binary_name}"
+    site.add_page(path, trojan, content_type="application/octet-stream")
+    return site, trojan, path

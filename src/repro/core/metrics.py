@@ -1,0 +1,67 @@
+"""Experiment-level metric records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.httpsim.browser import DownloadOutcome
+
+__all__ = ["CaptureMetrics", "DownloadMetrics", "TunnelMetrics"]
+
+
+@dataclass
+class CaptureMetrics:
+    """How a victim's association played out."""
+
+    associated: bool = False
+    on_rogue: bool = False
+    time_to_capture_s: Optional[float] = None
+    deauths_received: int = 0
+    reassociations: int = 0
+
+
+@dataclass
+class DownloadMetrics:
+    """Outcome of the §4.1 download flow, condensed for tables."""
+
+    attempted: bool
+    md5_check_passed: Optional[bool]
+    executed: bool
+    trojaned: bool
+    compromised: bool
+
+    @classmethod
+    def from_outcome(cls, outcome: DownloadOutcome) -> "DownloadMetrics":
+        return cls(
+            attempted=not outcome.failed,
+            md5_check_passed=outcome.md5_ok,
+            executed=outcome.executed,
+            trojaned=outcome.trojaned,
+            compromised=outcome.compromised,
+        )
+
+
+@dataclass
+class TunnelMetrics:
+    """Datagram-service quality through a tunnel (E-VPNOH)."""
+
+    offered: int = 0
+    delivered: int = 0
+    latencies_s: list = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.offered if self.offered else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return (sum(self.latencies_s) / len(self.latencies_s)
+                if self.latencies_s else float("nan"))
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        ordered = sorted(self.latencies_s)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]

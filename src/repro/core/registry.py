@@ -1,0 +1,105 @@
+"""Experiment registry: ids → runners, for the CLI and the docs.
+
+One entry per experiment of DESIGN.md §4, each knowing how to run
+itself and how to print its result tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core import experiments as E
+from repro.core.report import format_table
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment", "render_result"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible experiment."""
+
+    exp_id: str
+    title: str
+    paper_anchor: str
+    runner: Callable[..., dict]
+    bench_target: str
+
+
+EXPERIMENTS: list[ExperimentSpec] = [
+    ExperimentSpec("FIG1", "Rogue-AP configuration captures clients",
+                   "Fig. 1, §4.1", E.fig1_mitm_configuration,
+                   "benchmarks/test_fig1_mitm_configuration.py"),
+    ExperimentSpec("FIG2", "Software-download MITM detail",
+                   "Fig. 2, §4.1–4.2", E.fig2_download_mitm,
+                   "benchmarks/test_fig2_download_mitm.py"),
+    ExperimentSpec("FIG3", "VPN proxy through the compromised WLAN",
+                   "Fig. 3, §5", E.fig3_vpn_proxy,
+                   "benchmarks/test_fig3_vpn_proxy.py"),
+    ExperimentSpec("E-WEP", "WEP provides no protection here",
+                   "§2.1", E.exp_wep_no_protection,
+                   "benchmarks/test_wep_no_protection.py"),
+    ExperimentSpec("E-MAC", "MAC filtering vs sniff-and-spoof",
+                   "§2.1", E.exp_mac_filtering,
+                   "benchmarks/test_mac_filtering.py"),
+    ExperimentSpec("E-FMS", "Airsnort key-recovery economics",
+                   "§4, refs [3][11]", E.exp_airsnort_curve,
+                   "benchmarks/test_airsnort_key_recovery.py"),
+    ExperimentSpec("E-DEAUTH", "Deauth forcing onto the rogue",
+                   "§4", E.exp_deauth_capture,
+                   "benchmarks/test_deauth_capture.py"),
+    ExperimentSpec("E-NETSED", "netsed's packet-boundary limitation",
+                   "§4.2", E.exp_netsed_boundaries,
+                   "benchmarks/test_netsed_boundaries.py"),
+    ExperimentSpec("E-WIRED", "Wired vs wireless prerequisites",
+                   "§1.1–1.2, §3", E.exp_wired_vs_wireless,
+                   "benchmarks/test_wired_vs_wireless.py"),
+    ExperimentSpec("E-VPNOH", "UDP over the TCP tunnel (§5.3 drawback)",
+                   "§5.3", E.exp_vpn_overhead,
+                   "benchmarks/test_vpn_overhead.py"),
+    ExperimentSpec("E-DETECT", "Sequence-control rogue detection",
+                   "§2.3, ref [15]", E.exp_rogue_detection,
+                   "benchmarks/test_rogue_detection.py"),
+    ExperimentSpec("E-PROM", "Network promiscuity across domains",
+                   "§3.2", E.exp_network_promiscuity,
+                   "benchmarks/test_network_promiscuity.py"),
+    ExperimentSpec("E-CNN", "The trusted-website scenario",
+                   "§5.1", E.exp_trusted_website,
+                   "benchmarks/test_trusted_website.py"),
+    ExperimentSpec("E-8021X", "802.1X / WPA network-auth gap",
+                   "§2.2, ref [9]", E.exp_dot1x_wpa_gap,
+                   "benchmarks/test_dot1x_wpa_gap.py"),
+    # Extensions beyond the paper's own experiments (§6 future work, built):
+    ExperimentSpec("X-PATH", "Victim-side first-hop rogue detection",
+                   "extension (§6)", E.exp_first_hop_detection,
+                   "benchmarks/test_extensions.py"),
+    ExperimentSpec("X-CONTAIN", "Active rogue containment",
+                   "extension (§6)", E.exp_containment,
+                   "benchmarks/test_extensions.py"),
+]
+
+
+def get_experiment(exp_id: str) -> ExperimentSpec:
+    for spec in EXPERIMENTS:
+        if spec.exp_id.lower() == exp_id.lower():
+            return spec
+    known = ", ".join(s.exp_id for s in EXPERIMENTS)
+    raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+
+
+def render_result(result: dict) -> str:
+    """Render an experiment runner's dict as text tables."""
+    blocks: list[str] = []
+    for key, value in result.items():
+        if isinstance(value, list) and value and isinstance(value[0], dict):
+            headers: list[str] = []
+            for row in value:  # union of keys, first-seen order
+                for h in row:
+                    if h not in headers:
+                        headers.append(h)
+            blocks.append(format_table(
+                headers, [[row.get(h, "") for h in headers] for row in value],
+                title=key))
+        else:
+            blocks.append(f"{key} = {value}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,48 @@
+"""Plain-text result tables.
+
+Every benchmark prints its reproduction of a paper figure/claim as an
+aligned table through this module, so ``pytest benchmarks/ -s`` output
+and EXPERIMENTS.md stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Sequence[tuple[str, Any]]) -> str:
+    """Render a key/value block (single-scenario results)."""
+    width = max((len(k) for k, _ in pairs), default=1)
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""CRC-32 (IEEE 802.3 polynomial), implemented from scratch.
+
+CRC-32 appears twice in the reproduction: as the WEP integrity check
+value (ICV) — which, being linear, provides no cryptographic integrity,
+one of WEP's "legendary" weaknesses — and as the 802.11 frame check
+sequence (FCS).
+
+A 256-entry lookup table is built once at import; per the HPC guides,
+the byte loop is the measured hot path and the table keeps it O(n)
+with small constants without reaching for C.
+"""
+
+from __future__ import annotations
+
+__all__ = ["crc32", "crc32_table", "crc32_combine_xor"]
+
+_POLY = 0xEDB88320  # reflected 0x04C11DB7
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32_table() -> list[int]:
+    """The 256-entry CRC table (exposed for tests and the linearity demo)."""
+    return list(_TABLE)
+
+
+def crc32(data: bytes, crc: int = 0) -> int:
+    """CRC-32 of ``data``; ``crc`` allows incremental computation.
+
+    Matches ``zlib.crc32`` (verified by the test suite) but is
+    implemented locally because the reproduction builds every substrate
+    from scratch.
+    """
+    crc ^= 0xFFFFFFFF
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_combine_xor(crc_a: int, crc_b: int, crc_zero: int) -> int:
+    """CRC linearity helper: crc(a ^ b) == crc(a) ^ crc(b) ^ crc(0...).
+
+    Demonstrates *why* the WEP ICV fails as an integrity check: an
+    attacker can flip plaintext bits through the ciphertext and fix the
+    ICV without knowing the key.  Used by the WEP bit-flipping test.
+    """
+    return crc_a ^ crc_b ^ crc_zero

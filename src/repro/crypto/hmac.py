@@ -1,0 +1,62 @@
+"""HMAC (RFC 2104) over the local MD5 and SHA-1 implementations.
+
+The VPN transport authenticates every record with HMAC-SHA1; a rogue
+AP that flips bits in the ciphertext (trivially possible against a
+bare stream cipher) is caught here — the mechanism behind the paper's
+claim that a VPN protects even over a fully hostile wireless segment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.crypto.md5 import MD5
+from repro.crypto.sha1 import SHA1
+
+__all__ = ["hmac", "hmac_md5", "hmac_sha1", "constant_time_equal"]
+
+
+class _Hash(Protocol):  # structural type of MD5 / SHA1
+    digest_size: int
+    block_size: int
+
+    def update(self, data: bytes) -> None: ...
+    def digest(self) -> bytes: ...
+
+
+def hmac(key: bytes, message: bytes, hash_factory: Callable[[], _Hash]) -> bytes:
+    """HMAC per RFC 2104: H(K ^ opad || H(K ^ ipad || message))."""
+    probe = hash_factory()
+    block_size = probe.block_size
+    if len(key) > block_size:
+        h = hash_factory()
+        h.update(key)
+        key = h.digest()
+    key = key.ljust(block_size, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = hash_factory()
+    inner.update(ipad + message)
+    outer = hash_factory()
+    outer.update(opad + inner.digest())
+    return outer.digest()
+
+
+def hmac_sha1(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA1, the VPN record MAC."""
+    return hmac(key, message, SHA1)
+
+
+def hmac_md5(key: bytes, message: bytes) -> bytes:
+    """HMAC-MD5, used by the 802.1X-style EAP exchange."""
+    return hmac(key, message, MD5)
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare MACs without early exit (mirrors real verifier behaviour)."""
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

@@ -1,0 +1,48 @@
+"""Defenses: the paper's solution and the ones it finds wanting.
+
+* :mod:`repro.defense.vpn` — the paper's actual solution (§5): tunnel
+  *all* client traffic through PPP-over-SSH to a pre-arranged trusted
+  endpoint on a wired network.
+* :mod:`repro.defense.ipsec` — the UDP-transport alternative the
+  paper's future work contemplates (reference [13], WAVEsec).
+* :mod:`repro.defense.dot1x` / :mod:`repro.defense.wpa` — the
+  link-layer mechanisms §2.2 shows are insufficient (no network
+  authentication; shared PSK).
+* :mod:`repro.defense.detection` / :mod:`repro.defense.audit` — the
+  §2.3 monitoring practices (sequence-control analysis, wired-side
+  census, radio site survey).
+* :mod:`repro.defense.policy` — the §5.2 VPN-requirements checklist.
+"""
+
+from repro.defense.audit import radio_site_survey, wired_side_census
+from repro.defense.containment import ContainmentAction, ContainmentSensor
+from repro.defense.detection import SeqCtlMonitor, SpoofVerdict
+from repro.defense.dot1x import Dot1xAuthenticator, Dot1xSupplicant, EapAuthServer
+from repro.defense.ipsec import EspTunnelClient, EspTunnelServer
+from repro.defense.pathcheck import PathCheckResult, check_first_hop
+from repro.defense.policy import VpnRequirementReport, check_vpn_requirements
+from repro.defense.vpn import VpnClient, VpnServer
+from repro.defense.wpa import WpaPskAuthenticator, WpaPskSupplicant, derive_ptk
+
+__all__ = [
+    "ContainmentAction",
+    "ContainmentSensor",
+    "Dot1xAuthenticator",
+    "Dot1xSupplicant",
+    "EapAuthServer",
+    "EspTunnelClient",
+    "EspTunnelServer",
+    "PathCheckResult",
+    "SeqCtlMonitor",
+    "SpoofVerdict",
+    "VpnClient",
+    "VpnRequirementReport",
+    "VpnServer",
+    "WpaPskAuthenticator",
+    "WpaPskSupplicant",
+    "check_first_hop",
+    "check_vpn_requirements",
+    "derive_ptk",
+    "radio_site_survey",
+    "wired_side_census",
+]

@@ -1,0 +1,88 @@
+"""Administrative audits (§2.3).
+
+"Good record keeping and doing radio site audits will help detect
+these rogues.  Depending on your deployment scenario, monitoring the
+traffic on the wired LAN can also aid in detection of Rogue APs."
+
+Two audits, with their §2.3-honest limitations:
+
+* :func:`radio_site_survey` — walk the site with a monitor radio and
+  compare the BSSes on the air against the authorized inventory.  A
+  rogue cloning both SSID *and* BSSID is invisible here (Fig. 1's
+  rogue!) unless it slipped onto an unauthorized channel.
+* :func:`wired_side_census` — compare MAC addresses learned by the
+  LAN switches against the asset inventory.  Catches rogue APs that
+  are *plugged into* the LAN; the paper's parprouted rogue never
+  appears because it bridges over the wireless side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dot11.capture import FrameCapture
+from repro.dot11.frames import FrameSubtype
+from repro.dot11.mac import MacAddress
+from repro.netstack.ethernet import Switch
+
+__all__ = ["AuthorizedAp", "SurveyFinding", "radio_site_survey", "wired_side_census"]
+
+
+@dataclass(frozen=True)
+class AuthorizedAp:
+    """One entry in the administrator's AP inventory."""
+
+    bssid: MacAddress
+    ssid: str
+    channel: int
+
+
+@dataclass
+class SurveyFinding:
+    """One suspicious BSS from the site survey."""
+
+    bssid: MacAddress
+    ssid: str
+    channel: int
+    issue: str
+
+
+def radio_site_survey(capture: FrameCapture,
+                      inventory: list[AuthorizedAp]) -> list[SurveyFinding]:
+    """Compare beacons on the air against the authorized inventory."""
+    authorized = {(ap.bssid, ap.channel): ap for ap in inventory}
+    known_bssids = {ap.bssid for ap in inventory}
+    known_ssids = {ap.ssid for ap in inventory}
+    findings: list[SurveyFinding] = []
+    seen: set[tuple[MacAddress, int]] = set()
+    for cap in capture.select(subtype=FrameSubtype.BEACON):
+        info = cap.frame.parse_beacon()
+        key = (info.bssid, cap.channel)
+        if key in seen:
+            continue
+        seen.add(key)
+        if key in authorized:
+            continue
+        if info.bssid in known_bssids:
+            issue = (f"authorized BSSID beaconing on unauthorized channel "
+                     f"{cap.channel} — cloned AP")
+        elif info.ssid in known_ssids:
+            issue = f"unknown BSSID advertising corporate SSID {info.ssid!r}"
+        else:
+            issue = "unknown BSS in the facility"
+        findings.append(SurveyFinding(bssid=info.bssid, ssid=info.ssid,
+                                      channel=cap.channel, issue=issue))
+    return findings
+
+
+def wired_side_census(switch: Switch,
+                      inventory: list[MacAddress]) -> list[MacAddress]:
+    """MAC addresses on the wired LAN that are not in the asset list.
+
+    §2.3's wired-side monitoring.  Note its blind spot, which the FIG1
+    scenario demonstrates: a parprouted rogue bridges frames with the
+    *victim's* MAC (already inventoried) and never plugs its own
+    hardware into the LAN.
+    """
+    known = set(inventory)
+    return sorted(mac for mac in switch.mac_table() if mac not in known)

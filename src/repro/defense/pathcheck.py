@@ -1,0 +1,108 @@
+"""Hop-count anomaly detection — a client-side rogue check (§6 spirit).
+
+The parprouted rogue is transparent at the ARP layer but not at the IP
+layer: it *routes*, so it decrements TTL.  A client that believes its
+gateway is one hop away can verify that belief with a TTL=1 echo
+probe:
+
+* clean network: the probe reaches the gateway and an ECHO_REPLY comes
+  back from the gateway's address;
+* through the rogue bridge: the probe's TTL expires *at the rogue*,
+  which betrays itself with a TIME_EXCEEDED from its own IP address —
+  the attacker's 10.0.0.24 appears in plain sight.
+
+This is a detection the *victim* can run, unlike the §2.3
+infrastructure-side monitors — and unlike them it needs no monitor
+hardware.  Its limitation is equally honest: a smarter bridge could
+suppress the ICMP error (the probe then just times out, which is
+itself suspicious but not attributable), and it cannot see a
+*hostile hotspot*, which legitimately is the first hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.hosts.host import Host
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.icmp import IcmpType
+
+__all__ = ["PathCheckResult", "check_first_hop"]
+
+
+@dataclass
+class PathCheckResult:
+    """Outcome of one TTL=1 first-hop probe."""
+
+    gateway_ip: IPv4Address
+    responder_ip: Optional[IPv4Address] = None
+    icmp_type: Optional[int] = None
+    timed_out: bool = False
+
+    @property
+    def first_hop_is_gateway(self) -> bool:
+        return (self.icmp_type == IcmpType.ECHO_REPLY
+                and self.responder_ip == self.gateway_ip)
+
+    @property
+    def interloper(self) -> Optional[IPv4Address]:
+        """The in-path device's address, if one revealed itself."""
+        if self.icmp_type == IcmpType.TIME_EXCEEDED \
+                and self.responder_ip != self.gateway_ip:
+            return self.responder_ip
+        return None
+
+    @property
+    def suspicious(self) -> bool:
+        """Anything other than a clean one-hop gateway reply."""
+        return not self.first_hop_is_gateway
+
+    def describe(self) -> str:
+        if self.first_hop_is_gateway:
+            return f"clean: gateway {self.gateway_ip} is one hop away"
+        if self.interloper is not None:
+            return (f"ROGUE IN PATH: TTL=1 probe to {self.gateway_ip} died at "
+                    f"{self.interloper} (an unexpected router)")
+        if self.timed_out:
+            return ("suspicious: first-hop probe unanswered (a silent "
+                    "in-path device, or a lossy link)")
+        return f"unexpected response {self.icmp_type} from {self.responder_ip}"
+
+
+def check_first_hop(host: Host, gateway_ip: "IPv4Address | str",
+                    on_result: Callable[[PathCheckResult], None],
+                    *, timeout_s: float = 3.0) -> None:
+    """Probe whether ``gateway_ip`` really is one hop away.
+
+    Asynchronous: ``on_result`` fires with the :class:`PathCheckResult`
+    when the probe resolves or times out.
+    """
+    gateway_ip = IPv4Address(gateway_ip)
+    result = PathCheckResult(gateway_ip=gateway_ip)
+    done = {"fired": False}
+
+    def finish() -> None:
+        if done["fired"]:
+            return
+        done["fired"] = True
+        host.sim.trace.emit("pathcheck.result", host.name,
+                            verdict=result.describe())
+        on_result(result)
+
+    def on_reply(rtt: float) -> None:
+        result.responder_ip = gateway_ip
+        result.icmp_type = int(IcmpType.ECHO_REPLY)
+        finish()
+
+    def on_error(responder: IPv4Address, icmp_type: int) -> None:
+        result.responder_ip = responder
+        result.icmp_type = icmp_type
+        finish()
+
+    def on_timeout() -> None:
+        result.timed_out = True
+        finish()
+
+    host.ping(gateway_ip, on_reply, ttl=1, on_error=on_error)
+    host.sim.schedule(timeout_s, on_timeout)

@@ -1,0 +1,105 @@
+"""The §5.2 VPN-requirements checklist, as executable policy.
+
+"The VPN must satisfy the following requirements:
+
+1. Provided by trustworthy entity
+2. Authentication information preestablished
+3. VPN endpoint in secure wired network
+4. Must handle all client traffic"
+
+Plus §5.2.1's corollary: a hotspot's purchased SSL certificate is
+*not* requirement 1 — "a guarantee of nothing more than that provider
+having given the certificate authority several hundred dollars."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keystore import KeyStore
+from repro.defense.vpn import VpnClient
+from repro.netstack.addressing import IPv4Address
+
+__all__ = ["VpnRequirementReport", "check_vpn_requirements", "TRUSTED_ENDPOINT_KINDS"]
+
+#: Endpoint placements that satisfy requirement 3.
+TRUSTED_ENDPOINT_KINDS = ("corporate-wired", "home-isp-wired", "trusted-third-party-wired")
+
+
+@dataclass(frozen=True)
+class VpnRequirementReport:
+    """Evaluation of one VPN configuration against §5.2."""
+
+    trustworthy_provider: bool
+    credentials_preestablished: bool
+    endpoint_on_secure_wired_network: bool
+    handles_all_traffic: bool
+    notes: tuple[str, ...] = ()
+
+    @property
+    def satisfied(self) -> bool:
+        return (self.trustworthy_provider
+                and self.credentials_preestablished
+                and self.endpoint_on_secure_wired_network
+                and self.handles_all_traffic)
+
+    def __str__(self) -> str:
+        rows = [
+            ("1. trustworthy provider", self.trustworthy_provider),
+            ("2. credentials pre-established", self.credentials_preestablished),
+            ("3. endpoint on secure wired net", self.endpoint_on_secure_wired_network),
+            ("4. handles all client traffic", self.handles_all_traffic),
+        ]
+        lines = [f"  [{'x' if ok else ' '}] {label}" for label, ok in rows]
+        lines.append(f"  => {'SATISFIED' if self.satisfied else 'NOT SATISFIED'}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def check_vpn_requirements(
+    client: VpnClient,
+    *,
+    endpoint_kind: str,
+    provider_known_reputation: bool = True,
+) -> VpnRequirementReport:
+    """Evaluate a client's VPN setup against the four §5.2 requirements."""
+    notes: list[str] = []
+    cred = client.keystore.lookup(client.server_name)
+
+    # Requirement 2: pre-established, out-of-band credentials.
+    pre = cred is not None and cred.trustworthy
+    if cred is None:
+        notes.append("no credential for the endpoint at all")
+    elif not cred.trustworthy:
+        notes.append(f"credential provenance {cred.provenance!r} was established "
+                     "in-band — vulnerable at first contact (§5.2)")
+
+    # Requirement 1: trustworthy provider.  A purchased certificate is not
+    # reputation (§5.2.1).
+    trustworthy = provider_known_reputation
+    if cred is not None and cred.provenance == "purchased-cert" and not provider_known_reputation:
+        notes.append("a valid, signed SSL certificate proves only a payment "
+                     "to a certificate authority (§5.2.1)")
+
+    # Requirement 3: endpoint placement.
+    wired = endpoint_kind in TRUSTED_ENDPOINT_KINDS
+    if not wired:
+        notes.append(f"endpoint kind {endpoint_kind!r} is not a secure wired network")
+
+    # Requirement 4: is the default route through the tunnel?  Probe
+    # with an arbitrary external address.
+    default = client.host.routing.lookup(IPv4Address("192.0.2.1"))
+    all_traffic = (client.connected and default is not None
+                   and default.interface == client.tun.name)
+    if not all_traffic:
+        notes.append("default route does not point into the tunnel — split "
+                     "traffic is exposed on the wireless segment")
+
+    return VpnRequirementReport(
+        trustworthy_provider=trustworthy,
+        credentials_preestablished=pre,
+        endpoint_on_secure_wired_network=wired,
+        handles_all_traffic=all_traffic,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,65 @@
+"""802.11b MAC layer: addresses, frames, information elements, capture.
+
+This package models the parts of 802.11 that the paper's attack and
+defenses actually touch:
+
+* management frames (beacon, probe, authentication, association,
+  deauthentication, disassociation) with byte-level serialization —
+  the rogue AP emits *protocol-perfect* beacons indistinguishable from
+  the legitimate AP's, which is the heart of the "no mutual
+  authentication" problem (§3.1);
+* the WEP "protected" bit and encrypted frame bodies;
+* per-transmitter sequence-control counters, because §2.3's
+  recommended rogue detection "relies on monitoring 802.11b Sequence
+  Control numbers";
+* monitor-mode capture records for sniffers and detectors.
+"""
+
+from repro.dot11.capture import CapturedFrame, FrameCapture
+from repro.dot11.channels import CHANNELS_11B, channel_rejection_db, channels_overlap
+from repro.dot11.frames import (
+    Dot11Frame,
+    FrameSubtype,
+    FrameType,
+    make_ack,
+    make_assoc_request,
+    make_assoc_response,
+    make_auth,
+    make_beacon,
+    make_data,
+    make_deauth,
+    make_disassoc,
+    make_probe_request,
+    make_probe_response,
+)
+from repro.dot11.ies import InformationElement, IeId, pack_ies, parse_ies
+from repro.dot11.mac import BROADCAST, MacAddress
+from repro.dot11.seqctl import SequenceCounter
+
+__all__ = [
+    "BROADCAST",
+    "CHANNELS_11B",
+    "CapturedFrame",
+    "Dot11Frame",
+    "FrameCapture",
+    "FrameSubtype",
+    "FrameType",
+    "IeId",
+    "InformationElement",
+    "MacAddress",
+    "SequenceCounter",
+    "channel_rejection_db",
+    "channels_overlap",
+    "make_ack",
+    "make_assoc_request",
+    "make_assoc_response",
+    "make_auth",
+    "make_beacon",
+    "make_data",
+    "make_deauth",
+    "make_disassoc",
+    "make_probe_request",
+    "make_probe_response",
+    "pack_ies",
+    "parse_ies",
+]

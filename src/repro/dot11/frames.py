@@ -1,0 +1,557 @@
+"""802.11 frame model with byte-level serialization.
+
+Frames serialize to wire bytes (24-byte MAC header, body, CRC-32 FCS)
+and parse back.  This is not gratuitous realism: WEP encrypts the
+*serialized* body, the FMS attack reads the first ciphertext byte, and
+the sequence-control detector reads the raw header — all of which need
+real bytes on the simulated air.
+
+Only the frame types the paper's scenarios exercise are modelled:
+management (beacon, probe, auth, assoc, deauth, disassoc), data, and
+ACK.  RTS/CTS and fragmentation are out of scope (nothing in the paper
+depends on them).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.crypto.crc import crc32
+from repro.dot11.ies import (
+    IeId,
+    InformationElement,
+    challenge_ie,
+    ds_param_ie,
+    find_ie,
+    pack_ies,
+    parse_ies,
+    rates_ie,
+    ssid_ie,
+)
+from repro.dot11.mac import BROADCAST, MacAddress
+from repro.sim.errors import ProtocolError
+
+__all__ = [
+    "CAP_ESS",
+    "CAP_PRIVACY",
+    "AuthAlgorithm",
+    "BeaconInfo",
+    "Dot11Frame",
+    "FrameSubtype",
+    "FrameType",
+    "ReasonCode",
+    "StatusCode",
+    "make_ack",
+    "make_assoc_request",
+    "make_assoc_response",
+    "make_auth",
+    "make_beacon",
+    "make_data",
+    "make_deauth",
+    "make_disassoc",
+    "make_probe_request",
+    "make_probe_response",
+]
+
+HEADER_LEN = 24
+FCS_LEN = 4
+
+# Capability field bits (beacon / probe response / assoc request).
+CAP_ESS = 0x0001
+CAP_PRIVACY = 0x0010  # "WEP required" — what Fig. 1's APs both advertise
+
+
+class FrameType(enum.IntEnum):
+    MANAGEMENT = 0
+    CONTROL = 1
+    DATA = 2
+
+
+class FrameSubtype(enum.IntEnum):
+    """(type, subtype) pairs flattened into one enum for convenience."""
+
+    ASSOC_REQ = 0x00
+    ASSOC_RESP = 0x01
+    PROBE_REQ = 0x04
+    PROBE_RESP = 0x05
+    BEACON = 0x08
+    DISASSOC = 0x0A
+    AUTH = 0x0B
+    DEAUTH = 0x0C
+    DATA = 0x20
+    ACK = 0x1D
+
+    @property
+    def frame_type(self) -> FrameType:
+        return FrameType((self.value >> 4) & 0x3) if self.value >= 0x10 else FrameType.MANAGEMENT
+
+    @property
+    def subtype_bits(self) -> int:
+        return self.value & 0x0F
+
+
+class AuthAlgorithm(enum.IntEnum):
+    OPEN_SYSTEM = 0
+    SHARED_KEY = 1
+
+
+class ReasonCode(enum.IntEnum):
+    UNSPECIFIED = 1
+    PREV_AUTH_EXPIRED = 2
+    DEAUTH_LEAVING = 3
+    INACTIVITY = 4
+    CLASS3_FROM_NONASSOC = 7
+
+
+class StatusCode(enum.IntEnum):
+    SUCCESS = 0
+    UNSPECIFIED_FAILURE = 1
+    CHALLENGE_FAILURE = 15
+    AUTH_TIMEOUT = 16
+    ASSOC_DENIED_UNSPEC = 17
+
+
+# Flag bits in the second FC byte.
+_FLAG_TO_DS = 0x01
+_FLAG_FROM_DS = 0x02
+_FLAG_RETRY = 0x08
+_FLAG_PROTECTED = 0x40
+
+
+@dataclass
+class Dot11Frame:
+    """One 802.11 frame.
+
+    ``addr1`` is the receiver, ``addr2`` the transmitter, ``addr3`` the
+    BSSID (management / infrastructure-data usage).  ``body`` is the
+    frame body *as transmitted*: for protected data frames that means
+    the WEP-expanded ciphertext.
+    """
+
+    subtype: FrameSubtype
+    addr1: MacAddress
+    addr2: MacAddress
+    addr3: MacAddress
+    body: bytes = b""
+    seq: int = 0
+    frag: int = 0
+    duration: int = 0
+    protected: bool = False
+    to_ds: bool = False
+    from_ds: bool = False
+    retry: bool = False
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def frame_type(self) -> FrameType:
+        return self.subtype.frame_type
+
+    @property
+    def bssid(self) -> MacAddress:
+        return self.addr3
+
+    @property
+    def destination(self) -> MacAddress:
+        """Final destination (addr3 when to-DS, else addr1)."""
+        return self.addr3 if self.to_ds and not self.from_ds else self.addr1
+
+    @property
+    def source(self) -> MacAddress:
+        """Original source (addr3 when from-DS, else addr2)."""
+        return self.addr3 if self.from_ds and not self.to_ds else self.addr2
+
+    def is_management(self) -> bool:
+        return self.frame_type is FrameType.MANAGEMENT
+
+    def is_data(self) -> bool:
+        return self.subtype is FrameSubtype.DATA
+
+    def with_body(self, body: bytes, protected: Optional[bool] = None) -> "Dot11Frame":
+        """Copy with a replaced body (used by WEP encap/decap)."""
+        return replace(
+            self,
+            body=body,
+            protected=self.protected if protected is None else protected,
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self, with_fcs: bool = True) -> bytes:
+        ftype = self.frame_type
+        fc0 = (ftype.value << 2) | (self.subtype.subtype_bits << 4)
+        fc1 = 0
+        if self.to_ds:
+            fc1 |= _FLAG_TO_DS
+        if self.from_ds:
+            fc1 |= _FLAG_FROM_DS
+        if self.retry:
+            fc1 |= _FLAG_RETRY
+        if self.protected:
+            fc1 |= _FLAG_PROTECTED
+        seqctl = ((self.seq & 0x0FFF) << 4) | (self.frag & 0x0F)
+        header = struct.pack(
+            "<BBH6s6s6sH",
+            fc0,
+            fc1,
+            self.duration & 0xFFFF,
+            self.addr1.bytes,
+            self.addr2.bytes,
+            self.addr3.bytes,
+            seqctl,
+        )
+        raw = header + self.body
+        if with_fcs:
+            raw += crc32(raw).to_bytes(4, "little")
+        return raw
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, with_fcs: bool = True) -> "Dot11Frame":
+        if with_fcs:
+            if len(raw) < HEADER_LEN + FCS_LEN:
+                raise ProtocolError("frame too short")
+            payload, fcs = raw[:-FCS_LEN], raw[-FCS_LEN:]
+            if crc32(payload).to_bytes(4, "little") != fcs:
+                raise ProtocolError("FCS check failed (corrupted frame)")
+        else:
+            if len(raw) < HEADER_LEN:
+                raise ProtocolError("frame too short")
+            payload = raw
+        fc0, fc1, duration, a1, a2, a3, seqctl = struct.unpack(
+            "<BBH6s6s6sH", payload[:HEADER_LEN]
+        )
+        ftype = (fc0 >> 2) & 0x3
+        subtype_bits = (fc0 >> 4) & 0xF
+        flat = subtype_bits if ftype == 0 else (ftype << 4) | subtype_bits
+        try:
+            subtype = FrameSubtype(flat)
+        except ValueError as exc:
+            raise ProtocolError(f"unsupported frame subtype {flat:#x}") from exc
+        return cls(
+            subtype=subtype,
+            addr1=MacAddress(a1),
+            addr2=MacAddress(a2),
+            addr3=MacAddress(a3),
+            body=payload[HEADER_LEN:],
+            seq=(seqctl >> 4) & 0x0FFF,
+            frag=seqctl & 0x0F,
+            duration=duration,
+            protected=bool(fc1 & _FLAG_PROTECTED),
+            to_ds=bool(fc1 & _FLAG_TO_DS),
+            from_ds=bool(fc1 & _FLAG_FROM_DS),
+            retry=bool(fc1 & _FLAG_RETRY),
+        )
+
+    def air_bytes(self) -> int:
+        """On-air size, for airtime accounting."""
+        return HEADER_LEN + len(self.body) + FCS_LEN
+
+    # ------------------------------------------------------------------
+    # management-body parsers
+    # ------------------------------------------------------------------
+    def parse_beacon(self) -> "BeaconInfo":
+        """Parse a beacon or probe-response body."""
+        if self.subtype not in (FrameSubtype.BEACON, FrameSubtype.PROBE_RESP):
+            raise ProtocolError("not a beacon/probe-response frame")
+        if len(self.body) < 12:
+            raise ProtocolError("beacon body too short")
+        timestamp, interval, capability = struct.unpack("<QHH", self.body[:12])
+        ies = parse_ies(self.body[12:])
+        ssid = find_ie(ies, IeId.SSID)
+        ds = find_ie(ies, IeId.DS_PARAMETER)
+        return BeaconInfo(
+            timestamp=timestamp,
+            interval_tu=interval,
+            capability=capability,
+            ssid=ssid.data.decode("utf-8", "replace") if ssid else "",
+            channel=ds.data[0] if ds and ds.data else 0,
+            bssid=self.addr3,
+        )
+
+    def parse_auth(self) -> tuple[int, int, int, Optional[bytes]]:
+        """Return (algorithm, transaction seq, status, challenge or None)."""
+        if self.subtype is not FrameSubtype.AUTH:
+            raise ProtocolError("not an authentication frame")
+        if len(self.body) < 6:
+            raise ProtocolError("auth body too short")
+        alg, txn, status = struct.unpack("<HHH", self.body[:6])
+        challenge = None
+        if len(self.body) > 6:
+            ch = find_ie(parse_ies(self.body[6:]), IeId.CHALLENGE_TEXT)
+            challenge = ch.data if ch else None
+        return alg, txn, status, challenge
+
+    def parse_assoc_request(self) -> tuple[int, str]:
+        """Return (capability, requested ssid)."""
+        if self.subtype is not FrameSubtype.ASSOC_REQ:
+            raise ProtocolError("not an association request")
+        if len(self.body) < 4:
+            raise ProtocolError("assoc-request body too short")
+        capability, _listen = struct.unpack("<HH", self.body[:4])
+        ssid = find_ie(parse_ies(self.body[4:]), IeId.SSID)
+        return capability, ssid.data.decode("utf-8", "replace") if ssid else ""
+
+    def parse_assoc_response(self) -> tuple[int, int, int]:
+        """Return (capability, status, association id)."""
+        if self.subtype is not FrameSubtype.ASSOC_RESP:
+            raise ProtocolError("not an association response")
+        if len(self.body) < 6:
+            raise ProtocolError("assoc-response body too short")
+        return struct.unpack("<HHH", self.body[:6])
+
+    def parse_reason(self) -> int:
+        """Reason code of a deauth/disassoc frame."""
+        if self.subtype not in (FrameSubtype.DEAUTH, FrameSubtype.DISASSOC):
+            raise ProtocolError("not a deauth/disassoc frame")
+        if len(self.body) < 2:
+            raise ProtocolError("reason body too short")
+        return struct.unpack("<H", self.body[:2])[0]
+
+
+@dataclass(frozen=True)
+class BeaconInfo:
+    """Decoded beacon contents — everything a scanning client learns."""
+
+    timestamp: int
+    interval_tu: int
+    capability: int
+    ssid: str
+    channel: int
+    bssid: MacAddress
+
+    @property
+    def privacy(self) -> bool:
+        """True when the network advertises WEP (the privacy bit)."""
+        return bool(self.capability & CAP_PRIVACY)
+
+
+# ----------------------------------------------------------------------
+# frame constructors
+# ----------------------------------------------------------------------
+
+def make_beacon(
+    bssid: MacAddress,
+    ssid: str,
+    channel: int,
+    *,
+    privacy: bool = False,
+    interval_tu: int = 100,
+    timestamp: int = 0,
+    seq: int = 0,
+) -> Dot11Frame:
+    """A beacon frame, broadcast from the AP.
+
+    Note what is *absent*: any authenticator of the network.  A rogue
+    constructs a byte-identical beacon by copying these arguments.
+    """
+    capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
+    body = struct.pack("<QHH", timestamp, interval_tu, capability) + pack_ies(
+        [ssid_ie(ssid), rates_ie(), ds_param_ie(channel)]
+    )
+    return Dot11Frame(
+        subtype=FrameSubtype.BEACON,
+        addr1=BROADCAST,
+        addr2=bssid,
+        addr3=bssid,
+        body=body,
+        seq=seq,
+    )
+
+
+def make_probe_request(src: MacAddress, ssid: str = "", seq: int = 0) -> Dot11Frame:
+    """A probe request; empty SSID is the broadcast ("any network") probe."""
+    body = pack_ies([ssid_ie(ssid), rates_ie()])
+    return Dot11Frame(
+        subtype=FrameSubtype.PROBE_REQ,
+        addr1=BROADCAST,
+        addr2=src,
+        addr3=BROADCAST,
+        body=body,
+        seq=seq,
+    )
+
+
+def make_probe_response(
+    bssid: MacAddress,
+    dest: MacAddress,
+    ssid: str,
+    channel: int,
+    *,
+    privacy: bool = False,
+    timestamp: int = 0,
+    seq: int = 0,
+) -> Dot11Frame:
+    capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
+    body = struct.pack("<QHH", timestamp, 100, capability) + pack_ies(
+        [ssid_ie(ssid), rates_ie(), ds_param_ie(channel)]
+    )
+    return Dot11Frame(
+        subtype=FrameSubtype.PROBE_RESP,
+        addr1=dest,
+        addr2=bssid,
+        addr3=bssid,
+        body=body,
+        seq=seq,
+    )
+
+
+def make_auth(
+    src: MacAddress,
+    dest: MacAddress,
+    bssid: MacAddress,
+    *,
+    algorithm: int = AuthAlgorithm.OPEN_SYSTEM,
+    txn: int = 1,
+    status: int = StatusCode.SUCCESS,
+    challenge: Optional[bytes] = None,
+    protected: bool = False,
+    seq: int = 0,
+) -> Dot11Frame:
+    """An authentication frame (open-system or shared-key transaction)."""
+    body = struct.pack("<HHH", algorithm, txn, status)
+    if challenge is not None:
+        body += pack_ies([challenge_ie(challenge)])
+    return Dot11Frame(
+        subtype=FrameSubtype.AUTH,
+        addr1=dest,
+        addr2=src,
+        addr3=bssid,
+        body=body,
+        protected=protected,
+        seq=seq,
+    )
+
+
+def make_assoc_request(
+    src: MacAddress,
+    bssid: MacAddress,
+    ssid: str,
+    *,
+    privacy: bool = False,
+    seq: int = 0,
+) -> Dot11Frame:
+    capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
+    body = struct.pack("<HH", capability, 10) + pack_ies([ssid_ie(ssid), rates_ie()])
+    return Dot11Frame(
+        subtype=FrameSubtype.ASSOC_REQ,
+        addr1=bssid,
+        addr2=src,
+        addr3=bssid,
+        body=body,
+        seq=seq,
+    )
+
+
+def make_assoc_response(
+    bssid: MacAddress,
+    dest: MacAddress,
+    *,
+    status: int = StatusCode.SUCCESS,
+    aid: int = 1,
+    privacy: bool = False,
+    seq: int = 0,
+) -> Dot11Frame:
+    capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
+    body = struct.pack("<HHH", capability, status, aid | 0xC000) + pack_ies([rates_ie()])
+    return Dot11Frame(
+        subtype=FrameSubtype.ASSOC_RESP,
+        addr1=dest,
+        addr2=bssid,
+        addr3=bssid,
+        body=body,
+        seq=seq,
+    )
+
+
+def make_deauth(
+    src: MacAddress,
+    dest: MacAddress,
+    bssid: MacAddress,
+    *,
+    reason: int = ReasonCode.PREV_AUTH_EXPIRED,
+    seq: int = 0,
+) -> Dot11Frame:
+    """A deauthentication frame.
+
+    Unauthenticated and unencrypted in 802.11b/WEP — which is exactly
+    why the paper's attacker "could force the client's disassociation
+    from the legitimate AP" (§4) by forging these with the AP's
+    addresses.  (802.11i later added "secure deauthentication", §2.2.)
+    """
+    return Dot11Frame(
+        subtype=FrameSubtype.DEAUTH,
+        addr1=dest,
+        addr2=src,
+        addr3=bssid,
+        body=struct.pack("<H", reason),
+        seq=seq,
+    )
+
+
+def make_disassoc(
+    src: MacAddress,
+    dest: MacAddress,
+    bssid: MacAddress,
+    *,
+    reason: int = ReasonCode.INACTIVITY,
+    seq: int = 0,
+) -> Dot11Frame:
+    return Dot11Frame(
+        subtype=FrameSubtype.DISASSOC,
+        addr1=dest,
+        addr2=src,
+        addr3=bssid,
+        body=struct.pack("<H", reason),
+        seq=seq,
+    )
+
+
+def make_data(
+    src: MacAddress,
+    dest: MacAddress,
+    bssid: MacAddress,
+    payload: bytes,
+    *,
+    to_ds: bool = False,
+    from_ds: bool = False,
+    protected: bool = False,
+    seq: int = 0,
+) -> Dot11Frame:
+    """An infrastructure data frame.
+
+    For to-DS frames (station → AP): addr1 = BSSID, addr2 = station,
+    addr3 = final destination.  For from-DS (AP → station): addr1 =
+    station, addr2 = BSSID, addr3 = original source.
+    """
+    if to_ds and not from_ds:
+        a1, a2, a3 = bssid, src, dest
+    elif from_ds and not to_ds:
+        a1, a2, a3 = dest, bssid, src
+    else:
+        a1, a2, a3 = dest, src, bssid
+    return Dot11Frame(
+        subtype=FrameSubtype.DATA,
+        addr1=a1,
+        addr2=a2,
+        addr3=a3,
+        body=payload,
+        to_ds=to_ds,
+        from_ds=from_ds,
+        protected=protected,
+        seq=seq,
+    )
+
+
+def make_ack(dest: MacAddress) -> Dot11Frame:
+    """A control ACK (receiver address only on real air; we fill the rest)."""
+    return Dot11Frame(
+        subtype=FrameSubtype.ACK,
+        addr1=dest,
+        addr2=MacAddress(b"\x00" * 6),
+        addr3=MacAddress(b"\x00" * 6),
+    )

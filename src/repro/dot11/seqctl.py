@@ -1,0 +1,53 @@
+"""802.11 sequence-control counters.
+
+Every 802.11 transmitter stamps frames from a single, monotonically
+increasing 12-bit sequence counter.  Paper §2.3: rogue-AP detection
+techniques "rely on monitoring 802.11b Sequence Control numbers" —
+two devices sharing one MAC/BSSID (a spoofer and the real AP) produce
+*interleaved* counter streams that a monitor can tell apart, which is
+also the basis of Wright's MAC-spoof detection (paper reference [15]).
+
+:class:`SequenceCounter` is that counter; the detector lives in
+:mod:`repro.defense.detection`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SequenceCounter", "SEQ_MODULO"]
+
+SEQ_MODULO = 4096  # 12-bit sequence number space
+
+
+class SequenceCounter:
+    """Per-transmitter 12-bit sequence number generator.
+
+    Parameters
+    ----------
+    start:
+        Initial value; real NICs start at an arbitrary point after
+        power-up, so scenario code seeds this from the RNG.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start % SEQ_MODULO
+
+    def next(self) -> int:
+        """Return the current number and advance (wraps at 4096)."""
+        value = self._next
+        self._next = (self._next + 1) % SEQ_MODULO
+        return value
+
+    def peek(self) -> int:
+        """The number the next frame will carry (monitor-side diagnostics)."""
+        return self._next
+
+    @staticmethod
+    def gap(a: int, b: int) -> int:
+        """Forward distance from sequence number ``a`` to ``b`` (mod 4096).
+
+        A healthy single transmitter produces small positive gaps
+        (usually 1, a bit more under retransmission); an interleaved
+        second transmitter produces large, erratic gaps — the signal
+        the §2.3 detector keys on.
+        """
+        return (b - a) % SEQ_MODULO

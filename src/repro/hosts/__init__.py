@@ -1,0 +1,50 @@
+"""Hosts: the glue binding radios, links, and the IP stack together.
+
+A :class:`~repro.hosts.host.Host` owns interfaces (wired, managed
+wireless, soft-AP wireless, or PPP/TUN), a routing table, ARP caches,
+a Netfilter instance, and transport endpoints — in short, the Linux
+laptop of the paper's experiment, §4.1's "gateway machine" included.
+"""
+
+from repro.hosts.access_point import AccessPoint
+from repro.hosts.ap_core import ApCore, MacFilter, SoftApInterface
+from repro.hosts.gateway import Router, build_wan
+from repro.hosts.host import Host, TcpListener, UdpSocket
+from repro.hosts.linuxconf import LinuxBox
+from repro.hosts.nic import (
+    Interface,
+    TunInterface,
+    WiredInterface,
+    WirelessInterface,
+)
+from repro.hosts.services import (
+    DhcpClientService,
+    DhcpServerService,
+    DnsResolver,
+    DnsServerService,
+    UdpEchoService,
+)
+from repro.hosts.station import Station
+
+__all__ = [
+    "AccessPoint",
+    "ApCore",
+    "DhcpClientService",
+    "DhcpServerService",
+    "DnsResolver",
+    "DnsServerService",
+    "Host",
+    "Interface",
+    "LinuxBox",
+    "MacFilter",
+    "Router",
+    "SoftApInterface",
+    "Station",
+    "TcpListener",
+    "TunInterface",
+    "UdpEchoService",
+    "UdpSocket",
+    "WiredInterface",
+    "WirelessInterface",
+    "build_wan",
+]

@@ -1,0 +1,499 @@
+"""Access-point machinery shared by infrastructure APs and soft-APs.
+
+:class:`ApCore` implements the AP side of 802.11b: beaconing, probe
+responses, open-system and shared-key authentication, association,
+WEP enforcement, and MAC filtering.  Crucially it implements them
+*symmetrically for anyone who instantiates it* — the legitimate CORP
+AP and the attacker's hostap-driver laptop (§4: "The D-Link card is
+configured with the Linux hostap driver to operate in Master mode")
+run the very same code, because the protocol gives the rogue nothing
+it must fake beyond configuration values.
+
+:class:`SoftApInterface` wraps an :class:`ApCore` as a host interface:
+the paper's ``wlan0`` — simultaneously an AP for victims and an IP
+interface on the attacker's gateway machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto.wep import IvGenerator, WepError, WepKey, wep_decrypt, wep_encrypt
+from repro.dot11.frames import (
+    AuthAlgorithm,
+    Dot11Frame,
+    FrameSubtype,
+    ReasonCode,
+    StatusCode,
+    make_assoc_response,
+    make_auth,
+    make_beacon,
+    make_data,
+    make_deauth,
+    make_probe_response,
+)
+from repro.dot11.mac import BROADCAST, MacAddress
+from repro.dot11.seqctl import SequenceCounter
+from repro.crypto.tkip import TkipError
+from repro.hosts.nic import Interface
+from repro.hosts.wpa_link import ETHERTYPE_EAPOL, ApWpaSession
+from repro.netstack.ethernet import llc_decap, llc_encap
+from repro.radio.medium import Medium, RadioPort
+from repro.radio.propagation import Position
+from repro.sim.errors import ProtocolError
+from repro.sim.kernel import Simulator
+
+__all__ = ["ApCore", "ClientState", "MacFilter", "SoftApInterface"]
+
+
+class MacFilter:
+    """Allow-list MAC filtering (§2.1).
+
+    "Since MAC addresses can be changed from their factory default and
+    valid MACs can be sniffed from the network it accomplishes nothing
+    more than perhaps keeping honest people honest."  The E-MAC
+    experiment quantifies that sentence.
+    """
+
+    def __init__(self, allowed: Optional[list[MacAddress]] = None) -> None:
+        self._allowed: Optional[set[MacAddress]] = (
+            set(allowed) if allowed is not None else None
+        )
+        self.denials = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._allowed is not None
+
+    def allow(self, mac: MacAddress) -> None:
+        if self._allowed is None:
+            self._allowed = set()
+        self._allowed.add(mac)
+
+    def permits(self, mac: MacAddress) -> bool:
+        if self._allowed is None:
+            return True
+        if mac in self._allowed:
+            return True
+        self.denials += 1
+        return False
+
+
+class ClientPhase(enum.Enum):
+    AUTHENTICATED = "AUTHENTICATED"
+    ASSOCIATED = "ASSOCIATED"
+
+
+@dataclass
+class ClientState:
+    mac: MacAddress
+    phase: ClientPhase
+    aid: int = 0
+    pending_challenge: Optional[bytes] = None
+    rssi_dbm: float = 0.0
+    frames_from: int = 0
+    wpa: Optional[ApWpaSession] = None
+
+
+class ApCore:
+    """One BSS: radio, beaconing, client table, crypto policy."""
+
+    BEACON_INTERVAL_S = 0.1  # 100 TU, the universal default
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        bssid: MacAddress,
+        ssid: str,
+        channel: int,
+        position: Position,
+        *,
+        wep_key: Optional[WepKey] = None,
+        wpa_psk: Optional[bytes] = None,
+        auth_algorithm: int = AuthAlgorithm.OPEN_SYSTEM,
+        mac_filter: Optional[MacFilter] = None,
+        tx_power_dbm: float = 18.0,
+        beaconing: bool = True,
+    ) -> None:
+        if wep_key is not None and wpa_psk is not None:
+            from repro.sim.errors import ConfigurationError
+            raise ConfigurationError("a BSS runs WEP or WPA, not both")
+        self.sim = sim
+        self.name = name
+        self.bssid = bssid
+        self.ssid = ssid
+        self.channel = channel
+        self.wep = wep_key
+        self.wpa_psk = wpa_psk
+        self.auth_algorithm = AuthAlgorithm(auth_algorithm)
+        self.mac_filter = mac_filter or MacFilter()
+        self.port = RadioPort(name=name, position=position, channel=channel,
+                              tx_power_dbm=tx_power_dbm)
+        self.port.on_receive = self._on_radio
+        medium.attach(self.port)
+        self.seqctl = SequenceCounter(sim.rng.substream(f"seq.{name}").randrange(0, 4096))
+        self.iv_gen = (
+            IvGenerator("sequential",
+                        start=sim.rng.substream(f"iv.{name}").randrange(0, 1 << 24))
+            if wep_key is not None else None
+        )
+        self._wpa_rng = sim.rng.substream(f"wpa.{name}")
+        self.clients: dict[MacAddress, ClientState] = {}
+        self._next_aid = 1
+        self._challenge_rng = sim.rng.substream(f"chal.{name}")
+        #: Owner hook: called with (src_mac, dst_mac, ethertype, payload)
+        #: for upstream-bound traffic from associated clients.
+        self.on_client_frame: Optional[Callable[[MacAddress, MacAddress, int, bytes], None]] = None
+        self._stop_beaconing = None
+        if beaconing:
+            self._stop_beaconing = sim.every(self.BEACON_INTERVAL_S, self._beacon)
+        # counters
+        self.associations_granted = 0
+        self.data_relayed = 0
+        self.wep_drop_count = 0
+
+    # ------------------------------------------------------------------
+    # transmission helpers
+    # ------------------------------------------------------------------
+    @property
+    def privacy(self) -> bool:
+        """The capability bit: set for WEP and for WPA."""
+        return self.wep is not None or self.wpa_psk is not None
+
+    def _beacon(self) -> None:
+        frame = make_beacon(self.bssid, self.ssid, self.channel,
+                            privacy=self.privacy,
+                            timestamp=int(self.sim.now * 1e6),
+                            seq=self.seqctl.next())
+        self.port.transmit(frame)
+
+    def send_to_client(self, dst_mac: MacAddress, src_mac: MacAddress,
+                       ethertype: int, payload: bytes) -> None:
+        """Transmit a from-DS data frame into the BSS."""
+        if self.wpa_psk is not None and (dst_mac.is_broadcast or dst_mac.is_multicast):
+            # GTK substitution (documented): group frames go per-peer
+            # under the pairwise keys.
+            for mac, state in list(self.clients.items()):
+                if state.phase is ClientPhase.ASSOCIATED and state.wpa is not None \
+                        and state.wpa.established:
+                    self._unicast_to_client(mac, dst_mac, src_mac, ethertype, payload)
+            return
+        if not dst_mac.is_broadcast and not dst_mac.is_multicast:
+            client = self.clients.get(dst_mac)
+            if client is None or client.phase is not ClientPhase.ASSOCIATED:
+                return
+        self._unicast_to_client(dst_mac, dst_mac, src_mac, ethertype, payload)
+
+    def _unicast_to_client(self, radio_dst: MacAddress, dst_mac: MacAddress,
+                           src_mac: MacAddress, ethertype: int,
+                           payload: bytes) -> None:
+        body = llc_encap(ethertype, payload)
+        protected = False
+        if self.wpa_psk is not None:
+            state = self.clients.get(radio_dst)
+            if state is None or state.wpa is None or not state.wpa.established:
+                return  # no keys yet: WPA never sends cleartext data
+            body = state.wpa.tx.encapsulate(body)
+            protected = True
+        elif self.wep is not None and self.iv_gen is not None:
+            body = wep_encrypt(self.wep, self.iv_gen.next_iv(), body)
+            protected = True
+        frame = make_data(self.bssid, dst_mac, self.bssid, body,
+                          from_ds=True, protected=protected, seq=self.seqctl.next())
+        if radio_dst != dst_mac:
+            # Group frame delivered pairwise: address the radio peer.
+            frame = make_data(self.bssid, radio_dst, self.bssid, body,
+                              from_ds=True, protected=protected,
+                              seq=self.seqctl.next())
+        self.port.transmit(frame)
+
+    def _send_eapol(self, sta: MacAddress, payload: bytes) -> None:
+        """Handshake frames ride unprotected data frames (as EAPOL does)."""
+        body = llc_encap(ETHERTYPE_EAPOL, payload)
+        frame = make_data(self.bssid, sta, self.bssid, body,
+                          from_ds=True, seq=self.seqctl.next())
+        self.port.transmit(frame)
+
+    def wpa_established(self, mac: MacAddress) -> bool:
+        state = self.clients.get(mac)
+        return bool(state and state.wpa and state.wpa.established)
+
+    def deauth_client(self, mac: MacAddress, reason: int = ReasonCode.UNSPECIFIED) -> None:
+        """Administratively kick a client."""
+        state = self.clients.pop(mac, None)
+        if state is not None and state.wpa is not None:
+            state.wpa.shutdown()
+        self.port.transmit(make_deauth(self.bssid, mac, self.bssid,
+                                       reason=reason, seq=self.seqctl.next()))
+
+    def associated_clients(self) -> list[MacAddress]:
+        return [mac for mac, st in self.clients.items()
+                if st.phase is ClientPhase.ASSOCIATED]
+
+    def shutdown(self) -> None:
+        if self._stop_beaconing is not None:
+            self._stop_beaconing()
+        self.port.enabled = False
+
+    # ------------------------------------------------------------------
+    # reception
+    # ------------------------------------------------------------------
+    def _on_radio(self, frame: Dot11Frame, rssi: float, channel: int) -> None:
+        subtype = frame.subtype
+        if subtype is FrameSubtype.PROBE_REQ:
+            self._on_probe_req(frame)
+        elif subtype is FrameSubtype.AUTH:
+            self._on_auth(frame, rssi)
+        elif subtype is FrameSubtype.ASSOC_REQ:
+            self._on_assoc_req(frame)
+        elif subtype in (FrameSubtype.DEAUTH, FrameSubtype.DISASSOC):
+            if frame.addr1 == self.bssid:
+                self.clients.pop(frame.addr2, None)
+        elif subtype is FrameSubtype.DATA:
+            self._on_data(frame)
+
+    def _on_probe_req(self, frame: Dot11Frame) -> None:
+        # Respond to directed probes for our SSID and to broadcast probes.
+        from repro.dot11.ies import IeId, find_ie, parse_ies
+        try:
+            ies = parse_ies(frame.body)
+        except ProtocolError:
+            return
+        ssid_el = find_ie(ies, IeId.SSID)
+        requested = ssid_el.data.decode("utf-8", "replace") if ssid_el else ""
+        if requested not in ("", self.ssid):
+            return
+        self.port.transmit(make_probe_response(
+            self.bssid, frame.addr2, self.ssid, self.channel,
+            privacy=self.privacy,
+            timestamp=int(self.sim.now * 1e6),
+            seq=self.seqctl.next(),
+        ))
+
+    def _on_auth(self, frame: Dot11Frame, rssi: float) -> None:
+        if frame.addr1 != self.bssid:
+            return
+        sta = frame.addr2
+        # Shared-key transaction 3 arrives WEP-protected.
+        if frame.protected:
+            self._on_auth_txn3(frame, sta)
+            return
+        try:
+            alg, txn, _status, _challenge = frame.parse_auth()
+        except ProtocolError:
+            return
+        if txn != 1:
+            return
+        if not self.mac_filter.permits(sta):
+            self.port.transmit(make_auth(self.bssid, sta, self.bssid,
+                                         algorithm=alg, txn=2,
+                                         status=StatusCode.UNSPECIFIED_FAILURE,
+                                         seq=self.seqctl.next()))
+            self.sim.trace.emit("dot11.mac_filter_deny", self.name, sta=str(sta))
+            return
+        if alg == AuthAlgorithm.OPEN_SYSTEM and self.auth_algorithm == AuthAlgorithm.OPEN_SYSTEM:
+            self.clients[sta] = ClientState(mac=sta, phase=ClientPhase.AUTHENTICATED,
+                                            rssi_dbm=rssi)
+            self.port.transmit(make_auth(self.bssid, sta, self.bssid,
+                                         algorithm=alg, txn=2,
+                                         status=StatusCode.SUCCESS,
+                                         seq=self.seqctl.next()))
+        elif alg == AuthAlgorithm.SHARED_KEY and self.wep is not None:
+            challenge = self._challenge_rng.bytes(128)
+            state = ClientState(mac=sta, phase=ClientPhase.AUTHENTICATED,
+                                pending_challenge=challenge, rssi_dbm=rssi)
+            self.clients[sta] = state
+            self.port.transmit(make_auth(self.bssid, sta, self.bssid,
+                                         algorithm=alg, txn=2,
+                                         status=StatusCode.SUCCESS,
+                                         challenge=challenge,
+                                         seq=self.seqctl.next()))
+        else:
+            self.port.transmit(make_auth(self.bssid, sta, self.bssid,
+                                         algorithm=alg, txn=2,
+                                         status=StatusCode.UNSPECIFIED_FAILURE,
+                                         seq=self.seqctl.next()))
+
+    def _on_auth_txn3(self, frame: Dot11Frame, sta: MacAddress) -> None:
+        state = self.clients.get(sta)
+        if state is None or state.pending_challenge is None or self.wep is None:
+            return
+        try:
+            body = wep_decrypt(self.wep, frame.body)
+            alg, txn, _status, challenge = frame.with_body(body, protected=False).parse_auth()
+        except (WepError, ProtocolError):
+            self._auth_reject(sta, StatusCode.CHALLENGE_FAILURE)
+            return
+        if txn != 3 or challenge != state.pending_challenge:
+            self._auth_reject(sta, StatusCode.CHALLENGE_FAILURE)
+            return
+        state.pending_challenge = None
+        self.port.transmit(make_auth(self.bssid, sta, self.bssid,
+                                     algorithm=AuthAlgorithm.SHARED_KEY, txn=4,
+                                     status=StatusCode.SUCCESS,
+                                     seq=self.seqctl.next()))
+
+    def _auth_reject(self, sta: MacAddress, status: int) -> None:
+        self.clients.pop(sta, None)
+        self.port.transmit(make_auth(self.bssid, sta, self.bssid,
+                                     algorithm=AuthAlgorithm.SHARED_KEY, txn=4,
+                                     status=status, seq=self.seqctl.next()))
+
+    def _on_assoc_req(self, frame: Dot11Frame) -> None:
+        if frame.addr1 != self.bssid:
+            return
+        sta = frame.addr2
+        state = self.clients.get(sta)
+        if state is None:
+            # Not authenticated; a real AP answers with a status error.
+            self.port.transmit(make_assoc_response(
+                self.bssid, sta, status=StatusCode.ASSOC_DENIED_UNSPEC,
+                seq=self.seqctl.next()))
+            return
+        try:
+            _cap, ssid = frame.parse_assoc_request()
+        except ProtocolError:
+            return
+        if ssid != self.ssid:
+            self.port.transmit(make_assoc_response(
+                self.bssid, sta, status=StatusCode.ASSOC_DENIED_UNSPEC,
+                seq=self.seqctl.next()))
+            return
+        state.phase = ClientPhase.ASSOCIATED
+        state.aid = self._next_aid
+        self._next_aid += 1
+        self.associations_granted += 1
+        self.sim.trace.emit("dot11.ap_assoc", self.name, sta=str(sta))
+        self.port.transmit(make_assoc_response(
+            self.bssid, sta, status=StatusCode.SUCCESS, aid=state.aid,
+            privacy=self.privacy, seq=self.seqctl.next()))
+        if self.wpa_psk is not None:
+            # Kick off the 4-way handshake right behind the response.
+            state.wpa = ApWpaSession(
+                self.sim, self.wpa_psk, self.bssid, sta,
+                send_eapol=lambda p, dst=sta: self._send_eapol(dst, p),
+                rng=self._wpa_rng)
+            self.sim.call_soon(state.wpa.start)
+
+    def _on_data(self, frame: Dot11Frame) -> None:
+        if not frame.to_ds or frame.addr1 != self.bssid:
+            return
+        sta = frame.addr2
+        state = self.clients.get(sta)
+        if state is None or state.phase is not ClientPhase.ASSOCIATED:
+            # Class-3 frame from a non-associated station.
+            self.port.transmit(make_deauth(self.bssid, sta, self.bssid,
+                                           reason=ReasonCode.CLASS3_FROM_NONASSOC,
+                                           seq=self.seqctl.next()))
+            return
+        state.frames_from += 1
+        body = frame.body
+        if self.wpa_psk is not None:
+            if frame.protected:
+                if state.wpa is None or not state.wpa.established:
+                    self.wep_drop_count += 1
+                    return
+                try:
+                    body = state.wpa.rx.decapsulate(body)
+                except TkipError:
+                    self.wep_drop_count += 1
+                    return
+            else:
+                # Cleartext is only acceptable as EAPOL handshake.
+                try:
+                    ethertype, payload = llc_decap(body)
+                except ProtocolError:
+                    return
+                if ethertype == ETHERTYPE_EAPOL and state.wpa is not None:
+                    state.wpa.handle_eapol(payload)
+                else:
+                    self.wep_drop_count += 1
+                return
+        elif self.wep is not None:
+            if not frame.protected:
+                self.wep_drop_count += 1
+                return
+            try:
+                body = wep_decrypt(self.wep, body)
+            except WepError:
+                self.wep_drop_count += 1
+                return
+        elif frame.protected:
+            self.wep_drop_count += 1
+            return
+        try:
+            ethertype, payload = llc_decap(body)
+        except ProtocolError:
+            return
+        dst = frame.destination  # addr3 for to-DS frames
+        # Intra-BSS relay for associated peers and broadcasts.
+        if dst.is_broadcast or dst.is_multicast:
+            self.data_relayed += 1
+            self.send_to_client(dst, frame.source, ethertype, payload)
+            if self.on_client_frame is not None:
+                self.on_client_frame(frame.source, dst, ethertype, payload)
+            return
+        peer = self.clients.get(dst)
+        if peer is not None and peer.phase is ClientPhase.ASSOCIATED:
+            self.data_relayed += 1
+            self.send_to_client(dst, frame.source, ethertype, payload)
+            return
+        if self.on_client_frame is not None:
+            self.on_client_frame(frame.source, dst, ethertype, payload)
+
+
+class SoftApInterface(Interface):
+    """Master-mode NIC on a host: an AP that is also an IP interface.
+
+    The attacker's ``wlan0`` in Appendix A — hostap's Master mode.  The
+    owning host sees client traffic as ordinary link input and its ARP
+    replies / forwarded packets flow back out as from-DS data frames.
+    """
+
+    needs_arp = True
+
+    def __init__(
+        self,
+        name: str,
+        medium: Medium,
+        position: Position,
+        *,
+        bssid: MacAddress,
+        ssid: str,
+        channel: int,
+        wep_key: Optional[WepKey] = None,
+        wpa_psk: Optional[bytes] = None,
+        mac_filter: Optional[MacFilter] = None,
+        tx_power_dbm: float = 18.0,
+    ) -> None:
+        super().__init__(name, bssid)
+        self._pending_core_args = dict(
+            medium=medium, position=position, bssid=bssid, ssid=ssid,
+            channel=channel, wep_key=wep_key, wpa_psk=wpa_psk,
+            mac_filter=mac_filter, tx_power_dbm=tx_power_dbm,
+        )
+        self.core: Optional[ApCore] = None
+
+    def bind(self, host) -> None:
+        super().bind(host)
+        args = self._pending_core_args
+        self.core = ApCore(
+            host.sim, args["medium"], self.name,
+            bssid=args["bssid"], ssid=args["ssid"], channel=args["channel"],
+            position=args["position"], wep_key=args["wep_key"],
+            wpa_psk=args["wpa_psk"], mac_filter=args["mac_filter"],
+            tx_power_dbm=args["tx_power_dbm"],
+        )
+        self.core.on_client_frame = self._from_client
+
+    def _from_client(self, src_mac: MacAddress, dst_mac: MacAddress,
+                     ethertype: int, payload: bytes) -> None:
+        self.host.receive_link(self, src_mac, dst_mac, ethertype, payload)
+
+    def send_frame_to(self, dst_mac: MacAddress, ethertype: int, payload: bytes) -> None:
+        if self.core is not None:
+            self.core.send_to_client(dst_mac, self.mac, ethertype, payload)

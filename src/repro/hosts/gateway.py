@@ -1,0 +1,88 @@
+"""Routers and a small "internet" builder.
+
+The corporate scenario needs a border router between the office LAN
+and a WAN segment holding the target web server, the trojan-hosting
+server, and the VPN endpoint's network.  :func:`build_wan` assembles
+that plumbing so scenario code stays readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dot11.mac import MacAddress
+from repro.hosts.host import Host
+from repro.hosts.nic import WiredInterface
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.ethernet import LanSegment, Switch
+from repro.sim.kernel import Simulator
+
+__all__ = ["Router", "Wan", "build_wan"]
+
+
+class Router(Host):
+    """A host that forwards by default (``ip_forward`` pre-enabled)."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.ip_forward = True
+
+    def add_wired(self, name: str, segment: LanSegment, ip: str,
+                  netmask: str = "255.255.255.0", *,
+                  mac: Optional[MacAddress] = None) -> WiredInterface:
+        """Attach one routed interface to a LAN segment."""
+        if mac is None:
+            mac = MacAddress.random(self.sim.rng.substream(f"mac.{self.name}.{name}"))
+        iface = WiredInterface(name, mac)
+        iface.attach_segment(segment)
+        self.add_interface(iface)
+        iface.configure_ip(ip, netmask)
+        return iface
+
+
+@dataclass
+class Wan:
+    """The assembled wide-area plumbing returned by :func:`build_wan`."""
+
+    segment: Switch                 # the "backbone"
+    router: Router                  # border router (LAN side + WAN side)
+    lan_gateway_ip: IPv4Address     # the LAN-side address (10.0.0.1 in Fig. 1)
+    wan_network: Network
+
+    def add_server(self, sim: Simulator, name: str, ip: str) -> Host:
+        """Attach a server host to the backbone with a route back to the LAN."""
+        host = Host(sim, name)
+        mac = MacAddress.random(sim.rng.substream(f"mac.{name}"))
+        iface = WiredInterface("eth0", mac)
+        iface.attach_segment(self.segment)
+        host.add_interface(iface)
+        iface.configure_ip(ip, str(self.wan_network.netmask))
+        host.routing.add_default(self.router.interfaces["wan0"].ip, "eth0")
+        return host
+
+
+def build_wan(
+    sim: Simulator,
+    lan_segment: LanSegment,
+    *,
+    lan_gateway_ip: str = "10.0.0.1",
+    lan_netmask: str = "255.255.255.0",
+    wan_cidr: str = "198.51.100.0/24",
+    router_wan_ip: str = "198.51.100.1",
+) -> Wan:
+    """Build border-router + backbone: LAN ⇄ router ⇄ WAN switch.
+
+    The WAN uses TEST-NET-2 addressing; servers attach with
+    :meth:`Wan.add_server`.
+    """
+    backbone = Switch(sim, "backbone")
+    router = Router(sim, "border-router")
+    router.add_wired("lan0", lan_segment, lan_gateway_ip, lan_netmask)
+    router.add_wired("wan0", backbone, router_wan_ip, str(Network(wan_cidr).netmask))
+    return Wan(
+        segment=backbone,
+        router=router,
+        lan_gateway_ip=IPv4Address(lan_gateway_ip),
+        wan_network=Network(wan_cidr),
+    )

@@ -1,0 +1,30 @@
+"""HTTP over the simulated TCP: server, client, and a victim browser.
+
+The §4.1 experiment's stage is a web page: "a sample target download
+web page which contained a downloadable binary, a link to that
+downloadable binary and an MD5SUM of that binary."  This package
+provides that page, the server that serves it, and a
+:class:`~repro.httpsim.browser.Browser` that does what the paper's
+victim does — fetch, follow the download link, verify the MD5SUM, and
+run the result.
+"""
+
+from repro.httpsim.browser import Browser, DownloadOutcome
+from repro.httpsim.client import HttpClient
+from repro.httpsim.content import Website, make_download_page
+from repro.httpsim.downloads import make_binary
+from repro.httpsim.messages import HttpRequest, HttpResponse, HttpStreamParser
+from repro.httpsim.server import HttpServer
+
+__all__ = [
+    "Browser",
+    "DownloadOutcome",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "HttpStreamParser",
+    "Website",
+    "make_binary",
+    "make_download_page",
+]

@@ -1,0 +1,29 @@
+"""Downloadable binaries.
+
+A "binary" is a tagged byte blob.  The header marks provenance: the
+legitimate build tool stamps ``LEGIT``, the attacker's trojan wrapper
+(:mod:`repro.attacks.trojan`) stamps ``TROJN``.  The *bytes differ*,
+so the MD5s genuinely differ — which is the whole reason the paper's
+attack has to rewrite the published MD5SUM as well as the link.
+"""
+
+from __future__ import annotations
+
+__all__ = ["make_binary", "is_trojaned", "LEGIT_MAGIC", "TROJAN_MAGIC"]
+
+LEGIT_MAGIC = b"LEGIT\x7fELF"
+TROJAN_MAGIC = b"TROJN\x7fELF"
+
+
+def make_binary(name: str, size: int, rng) -> bytes:
+    """A legitimate binary blob of roughly ``size`` bytes."""
+    if size < 16:
+        raise ValueError("binary size too small")
+    header = LEGIT_MAGIC + name.encode("ascii")[:16].ljust(16, b"\x00")
+    body = rng.bytes(max(0, size - len(header)))
+    return header + body
+
+
+def is_trojaned(blob: bytes) -> bool:
+    """Does this binary carry the trojan payload marker?"""
+    return blob.startswith(TROJAN_MAGIC)

@@ -1,0 +1,177 @@
+"""HTTP/1.0 message serialization and incremental parsing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.errors import ProtocolError
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpStreamParser"]
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request (GET is all the experiments need, POST supported)."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.0"
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"{self.method} {self.path} {self.version}"]
+        lines += [f"{k}: {v}" for k, v in headers.items()]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+    @classmethod
+    def parse_head(cls, head: bytes) -> "HttpRequest":
+        text = head.decode("ascii", "replace")
+        lines = text.split("\r\n")
+        try:
+            method, path, version = lines[0].split(" ", 2)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed request line: {lines[0]!r}") from exc
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip()] = value.strip()
+        return cls(method=method, path=path, headers=headers, version=version)
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response.
+
+    ``use_content_length=False`` emits an HTTP/1.0 close-delimited
+    response (no Content-Length), the style of period dynamic pages.
+    The distinction matters to the §4.1 attack: netsed's replacement
+    *grows* the body, so a Content-Length-framed page would be
+    truncated by the client before the MD5SUM line — close-delimited
+    pages are the ones the attack rewrites cleanly.
+    """
+
+    status: int
+    reason: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.0"
+    use_content_length: bool = True
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        if self.use_content_length:
+            headers.setdefault("Content-Length", str(len(self.body)))
+        lines = [f"{self.version} {self.status} {self.reason or _reason(self.status)}"]
+        lines += [f"{k}: {v}" for k, v in headers.items()]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+    @classmethod
+    def parse_head(cls, head: bytes) -> "HttpResponse":
+        text = head.decode("ascii", "replace")
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise ProtocolError(f"malformed status line: {lines[0]!r}")
+        version, status = parts[0], parts[1]
+        reason = parts[2] if len(parts) == 3 else ""
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip()] = value.strip()
+        try:
+            status_code = int(status)
+        except ValueError as exc:
+            raise ProtocolError(f"bad status code {status!r}") from exc
+        return cls(status=status_code, reason=reason, headers=headers, version=version)
+
+    @classmethod
+    def ok(cls, body: bytes, content_type: str = "text/html",
+           use_content_length: bool = True) -> "HttpResponse":
+        return cls(status=200, reason="OK",
+                   headers={"Content-Type": content_type}, body=body,
+                   use_content_length=use_content_length)
+
+    @classmethod
+    def not_found(cls) -> "HttpResponse":
+        return cls(status=404, reason="Not Found",
+                   headers={"Content-Type": "text/plain"}, body=b"not found")
+
+
+def _reason(status: int) -> str:
+    return {200: "OK", 301: "Moved", 400: "Bad Request", 404: "Not Found",
+            500: "Server Error"}.get(status, "")
+
+
+class HttpStreamParser:
+    """Incremental parser for one message arriving over a TCP stream.
+
+    Feed arbitrary byte chunks with :meth:`feed`; :attr:`complete`
+    flips once the head plus ``Content-Length`` body have arrived.  For
+    responses without a Content-Length, the message is delimited by
+    connection close (:meth:`finish_on_close`).
+    """
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ("request", "response"):
+            raise ValueError("kind must be 'request' or 'response'")
+        self.kind = kind
+        self._buffer = bytearray()
+        self._head: Optional[HttpRequest | HttpResponse] = None
+        self._body_needed: Optional[int] = None
+        self.complete = False
+
+    @property
+    def message(self) -> "HttpRequest | HttpResponse | None":
+        return self._head if self.complete else None
+
+    def feed(self, data: bytes) -> None:
+        if self.complete:
+            return
+        self._buffer.extend(data)
+        if self._head is None:
+            idx = bytes(self._buffer).find(_HEADER_END)
+            if idx < 0:
+                return
+            head_raw = bytes(self._buffer[:idx])
+            del self._buffer[: idx + 4]
+            if self.kind == "request":
+                self._head = HttpRequest.parse_head(head_raw)
+            else:
+                self._head = HttpResponse.parse_head(head_raw)
+            length = self._head.headers.get("Content-Length")
+            if length is not None:
+                self._body_needed = int(length)
+            elif self.kind == "request":
+                self._body_needed = 0  # bodyless request (GET): complete at head
+            else:
+                self._body_needed = None  # response delimited by close
+        if self._head is not None and self._body_needed is not None:
+            if len(self._buffer) >= self._body_needed:
+                self._head.body = bytes(self._buffer[: self._body_needed])
+                del self._buffer[: self._body_needed]
+                self.complete = True
+
+    def finish_on_close(self) -> None:
+        """Connection closed: whatever arrived is the body (HTTP/1.0 style)."""
+        if self.complete or self._head is None:
+            return
+        self._head.body = bytes(self._buffer)
+        self._buffer.clear()
+        self.complete = True
+
+    @property
+    def leftover(self) -> bytes:
+        """Bytes beyond the completed message (pipelining, unused here)."""
+        return bytes(self._buffer) if self.complete else b""

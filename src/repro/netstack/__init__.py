@@ -1,0 +1,77 @@
+"""From-scratch TCP/IP stack over the simulated links.
+
+The paper's experiment is an *IP-layer* attack staged from a link-layer
+foothold: Netfilter DNAT redirects the victim's port-80 flows into
+netsed, which rewrites the TCP byte stream.  Reproducing that honestly
+requires a real stack — ARP with proxy-ARP (parprouted), IPv4
+forwarding with TTL and checksums, a TCP with genuine segmentation and
+retransmission (netsed's packet-boundary miss and the VPN's
+TCP-over-TCP pathology both live there), UDP, DNS, and a Netfilter
+model faithful to the iptables command printed in §4.1.
+"""
+
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.arp import ArpOp, ArpPacket, ArpTable
+from repro.netstack.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    Hub,
+    Switch,
+    WiredPort,
+    llc_decap,
+    llc_encap,
+)
+from repro.netstack.icmp import IcmpMessage, IcmpType
+from repro.netstack.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.netstack.netfilter import (
+    Chain,
+    ConnTrack,
+    Netfilter,
+    Rule,
+    TargetAccept,
+    TargetDnat,
+    TargetDrop,
+    TargetRedirect,
+    TargetSnat,
+)
+from repro.netstack.routing import Route, RoutingTable
+from repro.netstack.tcp import TcpConnection, TcpSegment, TcpState
+from repro.netstack.udp import UdpDatagram
+
+__all__ = [
+    "ArpOp",
+    "ArpPacket",
+    "ArpTable",
+    "Chain",
+    "ConnTrack",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "EthernetFrame",
+    "Hub",
+    "IPv4Address",
+    "IPv4Packet",
+    "IcmpMessage",
+    "IcmpType",
+    "Netfilter",
+    "Network",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Route",
+    "RoutingTable",
+    "Rule",
+    "Switch",
+    "TargetAccept",
+    "TargetDnat",
+    "TargetDrop",
+    "TargetRedirect",
+    "TargetSnat",
+    "TcpConnection",
+    "TcpSegment",
+    "TcpState",
+    "UdpDatagram",
+    "WiredPort",
+    "llc_decap",
+    "llc_encap",
+]

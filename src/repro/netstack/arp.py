@@ -1,0 +1,125 @@
+"""ARP: packet format and neighbour cache.
+
+ARP is load-bearing twice in the paper: the rogue bridge is an "ARP
+proxy bridge ... established between the two interfaces using
+parprouted" (§4.1), and classic wired MITM needs "to spoof DNS
+requests or ARP requests" (§1.2).  The protocol has no authentication,
+so both are a matter of simply answering.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dot11.mac import MacAddress
+from repro.netstack.addressing import IPv4Address
+from repro.sim.errors import ProtocolError
+
+__all__ = ["ArpOp", "ArpPacket", "ArpTable"]
+
+
+class ArpOp(enum.IntEnum):
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An ARP packet for IPv4-over-Ethernet (htype 1, ptype 0x0800)."""
+
+    op: ArpOp
+    sender_mac: MacAddress
+    sender_ip: IPv4Address
+    target_mac: MacAddress
+    target_ip: IPv4Address
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack(">HHBBH", 1, 0x0800, 6, 4, int(self.op))
+            + self.sender_mac.bytes
+            + self.sender_ip.bytes
+            + self.target_mac.bytes
+            + self.target_ip.bytes
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ArpPacket":
+        if len(raw) < 28:
+            raise ProtocolError("ARP packet too short")
+        htype, ptype, hlen, plen, op = struct.unpack(">HHBBH", raw[:8])
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ProtocolError("unsupported ARP header")
+        try:
+            op_enum = ArpOp(op)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown ARP op {op}") from exc
+        return cls(
+            op=op_enum,
+            sender_mac=MacAddress(raw[8:14]),
+            sender_ip=IPv4Address(raw[14:18]),
+            target_mac=MacAddress(raw[18:24]),
+            target_ip=IPv4Address(raw[24:28]),
+        )
+
+    @classmethod
+    def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address) -> "ArpPacket":
+        """Who-has ``target_ip``? Tell ``sender_ip``."""
+        return cls(
+            op=ArpOp.REQUEST,
+            sender_mac=sender_mac,
+            sender_ip=sender_ip,
+            target_mac=MacAddress(b"\x00" * 6),
+            target_ip=target_ip,
+        )
+
+    @classmethod
+    def reply(cls, sender_mac: MacAddress, sender_ip: IPv4Address,
+              target_mac: MacAddress, target_ip: IPv4Address) -> "ArpPacket":
+        """``sender_ip`` is-at ``sender_mac`` — believed without question."""
+        return cls(
+            op=ArpOp.REPLY,
+            sender_mac=sender_mac,
+            sender_ip=sender_ip,
+            target_mac=target_mac,
+            target_ip=target_ip,
+        )
+
+
+class ArpTable:
+    """A neighbour cache with entry aging.
+
+    Notably, replies overwrite existing entries unconditionally — the
+    behaviour ARP-cache-poisoning (the wired MITM baseline in E-WIRED)
+    exploits.
+    """
+
+    def __init__(self, ttl_s: float = 600.0) -> None:
+        self.ttl_s = ttl_s
+        self._entries: dict[IPv4Address, tuple[MacAddress, float]] = {}
+
+    def learn(self, ip: IPv4Address, mac: MacAddress, now: float) -> None:
+        self._entries[ip] = (mac, now + self.ttl_s)
+
+    def lookup(self, ip: IPv4Address, now: float) -> Optional[MacAddress]:
+        entry = self._entries.get(ip)
+        if entry is None:
+            return None
+        mac, expiry = entry
+        if now >= expiry:
+            del self._entries[ip]
+            return None
+        return mac
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def entries(self, now: float) -> dict[IPv4Address, MacAddress]:
+        """Live entries (expired ones pruned)."""
+        self._entries = {ip: e for ip, e in self._entries.items() if e[1] > now}
+        return {ip: mac for ip, (mac, _) in self._entries.items()}
+
+    def __len__(self) -> int:
+        return len(self._entries)

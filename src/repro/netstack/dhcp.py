@@ -1,0 +1,107 @@
+"""DHCP message format and lease pool.
+
+Public hotspots hand out addresses over DHCP; the hostile-hotspot
+scenario (§1.3.2, E-CNN) uses it so a visiting client genuinely
+obtains its configuration *from the attacker* — default gateway and
+DNS server included, which is all a hostile hotspot needs to sit in
+the middle of everything.
+
+Format is a compact stand-in for RFC 2131 (fixed fields only, no
+options TLVs); the trust relationships — a client believes whatever
+the first responder says — are what matter, and those are faithful.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dot11.mac import MacAddress
+from repro.netstack.addressing import IPv4Address, Network
+from repro.sim.errors import ProtocolError
+
+__all__ = ["DhcpMessage", "DhcpMessageType", "LeasePool", "DHCP_SERVER_PORT", "DHCP_CLIENT_PORT"]
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+
+
+class DhcpMessageType(enum.IntEnum):
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    ACK = 5
+    NAK = 6
+
+
+@dataclass(frozen=True)
+class DhcpMessage:
+    """One DHCP message (compact fixed-field encoding)."""
+
+    message_type: DhcpMessageType
+    xid: int
+    client_mac: MacAddress
+    your_ip: IPv4Address = IPv4Address(0)
+    server_ip: IPv4Address = IPv4Address(0)
+    gateway: IPv4Address = IPv4Address(0)
+    dns_server: IPv4Address = IPv4Address(0)
+    netmask: IPv4Address = IPv4Address(0)
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack(">BI", int(self.message_type), self.xid)
+            + self.client_mac.bytes
+            + self.your_ip.bytes
+            + self.server_ip.bytes
+            + self.gateway.bytes
+            + self.dns_server.bytes
+            + self.netmask.bytes
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DhcpMessage":
+        if len(raw) < 31:
+            raise ProtocolError("DHCP message too short")
+        mtype, xid = struct.unpack(">BI", raw[:5])
+        try:
+            message_type = DhcpMessageType(mtype)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown DHCP message type {mtype}") from exc
+        return cls(
+            message_type=message_type,
+            xid=xid,
+            client_mac=MacAddress(raw[5:11]),
+            your_ip=IPv4Address(raw[11:15]),
+            server_ip=IPv4Address(raw[15:19]),
+            gateway=IPv4Address(raw[19:23]),
+            dns_server=IPv4Address(raw[23:27]),
+            netmask=IPv4Address(raw[27:31]),
+        )
+
+
+class LeasePool:
+    """Address allocation for a DHCP server."""
+
+    def __init__(self, network: Network, first_host: int = 100) -> None:
+        self.network = network
+        self._next = int(network.address) + first_host
+        self._leases: dict[MacAddress, IPv4Address] = {}
+
+    def lease_for(self, mac: MacAddress) -> IPv4Address:
+        """Existing lease for ``mac``, or a fresh address."""
+        if mac in self._leases:
+            return self._leases[mac]
+        ip = IPv4Address(self._next)
+        if ip not in self.network or ip == self.network.broadcast:
+            raise ProtocolError("DHCP pool exhausted")
+        self._next += 1
+        self._leases[mac] = ip
+        return ip
+
+    def leases(self) -> dict[MacAddress, IPv4Address]:
+        return dict(self._leases)
+
+    def __len__(self) -> int:
+        return len(self._leases)

@@ -1,0 +1,100 @@
+"""A minimal DNS: wire format, server zones, and a resolver.
+
+DNS exists in the reproduction because the paper's wired-MITM
+comparison (§1.2) lists "spoof DNS requests" as one of the three ways
+to get in the middle on a wired network.  The resolver trusts the
+first syntactically matching answer — transaction ID and all — which
+is precisely the behaviour DNS spoofing exploits
+(:mod:`repro.attacks.dns_spoof`).
+
+The format is a simplified DNS (A records only, single question, no
+compression); field-for-field fidelity to RFC 1035 adds nothing to the
+experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netstack.addressing import IPv4Address
+from repro.sim.errors import ProtocolError
+
+__all__ = ["DnsMessage", "DnsZone", "DNS_PORT"]
+
+DNS_PORT = 53
+
+_FLAG_RESPONSE = 0x8000
+
+
+@dataclass(frozen=True)
+class DnsMessage:
+    """A query or response for one A record."""
+
+    txn_id: int
+    name: str
+    is_response: bool = False
+    answers: tuple[IPv4Address, ...] = ()
+
+    def to_bytes(self) -> bytes:
+        name_raw = self.name.encode("ascii")
+        flags = _FLAG_RESPONSE if self.is_response else 0
+        out = struct.pack(">HHHB", self.txn_id, flags, len(self.answers), len(name_raw))
+        out += name_raw
+        for answer in self.answers:
+            out += answer.bytes
+        return out
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DnsMessage":
+        if len(raw) < 7:
+            raise ProtocolError("DNS message too short")
+        txn_id, flags, n_answers, name_len = struct.unpack(">HHHB", raw[:7])
+        offset = 7
+        if offset + name_len > len(raw):
+            raise ProtocolError("DNS name truncated")
+        name = raw[offset:offset + name_len].decode("ascii", "replace")
+        offset += name_len
+        answers = []
+        for _ in range(n_answers):
+            if offset + 4 > len(raw):
+                raise ProtocolError("DNS answer truncated")
+            answers.append(IPv4Address(raw[offset:offset + 4]))
+            offset += 4
+        return cls(
+            txn_id=txn_id,
+            name=name,
+            is_response=bool(flags & _FLAG_RESPONSE),
+            answers=tuple(answers),
+        )
+
+    @classmethod
+    def query(cls, txn_id: int, name: str) -> "DnsMessage":
+        return cls(txn_id=txn_id, name=name)
+
+    def answered(self, *ips: IPv4Address) -> "DnsMessage":
+        """Build the response to this query."""
+        return DnsMessage(txn_id=self.txn_id, name=self.name,
+                          is_response=True, answers=tuple(ips))
+
+
+class DnsZone:
+    """The authoritative data a DNS server serves."""
+
+    def __init__(self, records: Optional[dict[str, str]] = None) -> None:
+        self._records: dict[str, IPv4Address] = {}
+        for name, ip in (records or {}).items():
+            self.add(name, ip)
+
+    def add(self, name: str, ip: "IPv4Address | str") -> None:
+        self._records[name.lower()] = IPv4Address(ip)
+
+    def resolve(self, name: str) -> Optional[IPv4Address]:
+        return self._records.get(name.lower())
+
+    def names(self) -> list[str]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

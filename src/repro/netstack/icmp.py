@@ -1,0 +1,76 @@
+"""ICMP: echo (ping), destination unreachable, time exceeded.
+
+Ping is the reproduction's connectivity probe — the first thing every
+scenario test does after wiring a topology together is confirm the
+victim can ping through whatever path (legitimate AP, rogue bridge, or
+VPN tunnel) the scenario built.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.netstack.ipv4 import internet_checksum
+from repro.sim.errors import ProtocolError
+
+__all__ = ["IcmpMessage", "IcmpType"]
+
+
+class IcmpType(enum.IntEnum):
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP message; for echo, ``rest`` packs identifier and sequence."""
+
+    icmp_type: int
+    code: int
+    rest: int = 0
+    payload: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        header = struct.pack(">BBHI", self.icmp_type, self.code, 0, self.rest)
+        checksum = internet_checksum(header + self.payload)
+        return struct.pack(">BBHI", self.icmp_type, self.code, checksum, self.rest) + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IcmpMessage":
+        if len(raw) < 8:
+            raise ProtocolError("ICMP message too short")
+        if internet_checksum(raw) != 0:
+            raise ProtocolError("ICMP checksum failed")
+        icmp_type, code, _cksum, rest = struct.unpack(">BBHI", raw[:8])
+        return cls(icmp_type=icmp_type, code=code, rest=rest, payload=raw[8:])
+
+    # ------------------------------------------------------------------
+    # echo helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def echo_request(cls, ident: int, seq: int, payload: bytes = b"ping") -> "IcmpMessage":
+        return cls(IcmpType.ECHO_REQUEST, 0, ((ident & 0xFFFF) << 16) | (seq & 0xFFFF), payload)
+
+    @classmethod
+    def echo_reply_to(cls, request: "IcmpMessage") -> "IcmpMessage":
+        return cls(IcmpType.ECHO_REPLY, 0, request.rest, request.payload)
+
+    @property
+    def echo_ident(self) -> int:
+        return (self.rest >> 16) & 0xFFFF
+
+    @property
+    def echo_seq(self) -> int:
+        return self.rest & 0xFFFF
+
+    @classmethod
+    def time_exceeded(cls, original_header: bytes) -> "IcmpMessage":
+        return cls(IcmpType.TIME_EXCEEDED, 0, 0, original_header[:28])
+
+    @classmethod
+    def unreachable(cls, original_header: bytes, code: int = 1) -> "IcmpMessage":
+        return cls(IcmpType.DEST_UNREACHABLE, code, 0, original_header[:28])

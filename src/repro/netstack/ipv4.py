@@ -1,0 +1,122 @@
+"""IPv4 packets: header serialization, checksum, protocol numbers."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.netstack.addressing import IPv4Address
+from repro.sim.errors import ProtocolError
+
+__all__ = [
+    "IPv4Packet",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "internet_checksum",
+]
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+HEADER_LEN = 20  # no options supported
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum (also used by ICMP/TCP/UDP)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """An IPv4 packet (no options, no fragmentation — documented limits).
+
+    Fragmentation is out of scope: all simulated links share an MTU
+    large enough for the experiments, and nothing in the paper depends
+    on fragment handling.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    proto: int
+    payload: bytes
+    ttl: int = 64
+    ident: int = 0
+    tos: int = 0
+
+    def to_bytes(self) -> bytes:
+        total_len = HEADER_LEN + len(self.payload)
+        header = struct.pack(
+            ">BBHHHBBH4s4s",
+            (4 << 4) | 5,         # version 4, IHL 5
+            self.tos,
+            total_len,
+            self.ident & 0xFFFF,
+            0x4000,               # DF set, no fragments
+            self.ttl,
+            self.proto,
+            0,                    # checksum placeholder
+            self.src.bytes,
+            self.dst.bytes,
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack(">H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IPv4Packet":
+        if len(raw) < HEADER_LEN:
+            raise ProtocolError("IPv4 packet too short")
+        vihl, tos, total_len, ident, _flags, ttl, proto, _cksum, src, dst = struct.unpack(
+            ">BBHHHBBH4s4s", raw[:HEADER_LEN]
+        )
+        if vihl >> 4 != 4:
+            raise ProtocolError("not an IPv4 packet")
+        ihl = (vihl & 0x0F) * 4
+        if ihl != HEADER_LEN:
+            raise ProtocolError("IPv4 options unsupported")
+        if internet_checksum(raw[:HEADER_LEN]) != 0:
+            raise ProtocolError("IPv4 header checksum failed")
+        if total_len > len(raw):
+            raise ProtocolError("IPv4 total length exceeds buffer")
+        return cls(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            proto=proto,
+            payload=raw[HEADER_LEN:total_len],
+            ttl=ttl,
+            ident=ident,
+            tos=tos,
+        )
+
+    # ------------------------------------------------------------------
+    # forwarding helpers
+    # ------------------------------------------------------------------
+    def decremented(self) -> "IPv4Packet":
+        """Copy with TTL - 1; raises when the TTL would hit zero."""
+        if self.ttl <= 1:
+            raise ProtocolError("TTL expired in transit")
+        return replace(self, ttl=self.ttl - 1)
+
+    def with_src(self, src: IPv4Address) -> "IPv4Packet":
+        """Copy with a rewritten source (SNAT)."""
+        return replace(self, src=src)
+
+    def with_dst(self, dst: IPv4Address) -> "IPv4Packet":
+        """Copy with a rewritten destination (DNAT)."""
+        return replace(self, dst=dst)
+
+    def with_payload(self, payload: bytes) -> "IPv4Packet":
+        """Copy with a replaced transport payload (port rewriting)."""
+        return replace(self, payload=payload)
+
+    def __len__(self) -> int:
+        return HEADER_LEN + len(self.payload)

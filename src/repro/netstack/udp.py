@@ -1,0 +1,56 @@
+"""UDP datagrams.
+
+UDP matters for two experiments: DNS (whose spoofability is the wired
+MITM baseline of §1.2) and the VPN-overhead sweep, where "any UDP
+traffic is subject to unnecessary retransmission by TCP" (§5.3) when
+tunnelled through the PPP-over-SSH VPN.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.ipv4 import PROTO_UDP, internet_checksum
+from repro.sim.errors import ProtocolError
+
+__all__ = ["UdpDatagram"]
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram with pseudo-header checksum."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    HEADER_LEN = 8
+
+    def to_bytes(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bytes:
+        length = self.HEADER_LEN + len(self.payload)
+        header = struct.pack(">HHHH", self.src_port, self.dst_port, length, 0)
+        pseudo = src_ip.bytes + dst_ip.bytes + struct.pack(">BBH", 0, PROTO_UDP, length)
+        checksum = internet_checksum(pseudo + header + self.payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        return struct.pack(">HHHH", self.src_port, self.dst_port, length, checksum) + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, src_ip: IPv4Address, dst_ip: IPv4Address,
+                   verify_checksum: bool = True) -> "UdpDatagram":
+        if len(raw) < cls.HEADER_LEN:
+            raise ProtocolError("UDP datagram too short")
+        src_port, dst_port, length, checksum = struct.unpack(">HHHH", raw[:8])
+        if length > len(raw):
+            raise ProtocolError("UDP length exceeds buffer")
+        data = raw[:length]
+        if verify_checksum and checksum != 0:
+            pseudo = src_ip.bytes + dst_ip.bytes + struct.pack(">BBH", 0, PROTO_UDP, length)
+            if internet_checksum(pseudo + data) != 0:
+                raise ProtocolError("UDP checksum failed")
+        return cls(src_port=src_port, dst_port=dst_port, payload=data[8:])
+
+    def __len__(self) -> int:
+        return self.HEADER_LEN + len(self.payload)

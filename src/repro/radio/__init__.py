@@ -1,0 +1,25 @@
+"""Radio-layer substrate: the broadcast medium the paper's risks flow from.
+
+"The difference begins at the Data Link Layer and the inherent
+broadcast nature of the wireless physical layer, which doesn't benefit
+from the restricted physical access of traditional wired networks"
+(§3).  This package models exactly that difference: every transmission
+is delivered to every radio in range on an overlapping channel, with
+RSSI from a log-distance path-loss model, optional frame loss,
+collisions, and jamming.
+"""
+
+from repro.radio.interference import Jammer
+from repro.radio.medium import Medium, RadioPort
+from repro.radio.mobility import LinearMobility
+from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
+
+__all__ = [
+    "FrameLossModel",
+    "Jammer",
+    "LinearMobility",
+    "LogDistancePathLoss",
+    "Medium",
+    "Position",
+    "RadioPort",
+]

@@ -1,0 +1,80 @@
+"""Jamming — one of the §1 threat-taxonomy entries.
+
+"wireless networks are prone to jamming, spoofing, rogue access
+points, and possible Man-in-the-middle attacks" (§1).  The
+:class:`Jammer` is a duty-cycled wideband noise source: while active
+it destroys frames on its channel (and, attenuated, on neighbours)
+with a probability scaled by the victim's proximity.
+
+Jamming is not the paper's focus — it appears in the threat-model
+experiments only — so the model is intentionally coarse.
+"""
+
+from __future__ import annotations
+
+from repro.dot11.channels import channels_overlap
+from repro.radio.medium import Medium, RadioPort
+from repro.radio.propagation import Position
+
+__all__ = ["Jammer"]
+
+
+class Jammer:
+    """A duty-cycled channel jammer.
+
+    Parameters
+    ----------
+    channel:
+        Channel being jammed.
+    duty_cycle:
+        Fraction of time the jammer is on (period = ``period_s``).
+    effectiveness:
+        Frame-destruction probability at zero distance while on.
+    range_m:
+        Radius inside which the jammer is effective; effect falls
+        linearly to zero at the edge.
+    """
+
+    def __init__(
+        self,
+        medium: Medium,
+        position: Position,
+        channel: int,
+        *,
+        duty_cycle: float = 1.0,
+        period_s: float = 1.0,
+        effectiveness: float = 0.95,
+        range_m: float = 50.0,
+    ) -> None:
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in [0, 1]")
+        self.medium = medium
+        self.position = position
+        self.channel = channel
+        self.duty_cycle = duty_cycle
+        self.period_s = period_s
+        self.effectiveness = effectiveness
+        self.range_m = range_m
+        self.active = True
+        medium.register_jammer(self)
+
+    def is_on_at(self, t: float) -> bool:
+        """Deterministic duty-cycle schedule: on for the first fraction of each period."""
+        if not self.active:
+            return False
+        phase = (t % self.period_s) / self.period_s
+        return phase < self.duty_cycle
+
+    def loss_at(self, channel: int, rx: RadioPort, t: float) -> float:
+        """Extra frame-loss probability this jammer imposes at ``rx`` now."""
+        if not self.is_on_at(t):
+            return 0.0
+        if not channels_overlap(self.channel, channel):
+            return 0.0
+        distance = self.position.distance_to(rx.position)
+        if distance >= self.range_m:
+            return 0.0
+        return self.effectiveness * (1.0 - distance / self.range_m)
+
+    def stop(self) -> None:
+        self.active = False

@@ -1,0 +1,249 @@
+"""The shared broadcast medium.
+
+Every :class:`RadioPort` attached to the :class:`Medium` hears every
+transmission whose RSSI clears its sensitivity on an overlapping
+channel — legitimate receivers, victims, sniffers, and detectors
+alike.  There is no access control here because 802.11b has none;
+"Wireless networks allow clients to sniff other people's packets"
+(§1.1) falls straight out of the model.
+
+Collision model: two transmissions overlapping in time on overlapping
+channels corrupt each other at any receiver that hears both, unless
+one is ``capture_margin_db`` stronger (physical-layer capture).  The
+model is coarse — no CSMA/CA backoff — because none of the paper's
+results depend on contention behaviour; experiments that need a clean
+medium simply pace their traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.dot11.channels import channel_rejection_db, channels_overlap
+from repro.dot11.frames import Dot11Frame
+from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
+from repro.sim.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+__all__ = ["Medium", "RadioPort"]
+
+# 802.11b long-preamble PLCP overhead.
+PREAMBLE_SECONDS = 192e-6
+DEFAULT_BITRATE = 11_000_000.0
+
+
+class RadioPort:
+    """One radio attached to the medium.
+
+    NICs (managed, master, or monitor mode) own a port; the port holds
+    PHY state (position, channel, power) and the receive callback.
+    Monitor-mode behaviour is selected with ``promiscuous=True`` plus
+    ``any_channel=True`` if the sniffer hops/records all channels.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        position: Position,
+        channel: int,
+        *,
+        tx_power_dbm: float = 15.0,
+        promiscuous: bool = False,
+        any_channel: bool = False,
+    ) -> None:
+        self.name = name
+        self.position = position
+        self.channel = channel
+        self.tx_power_dbm = tx_power_dbm
+        self.promiscuous = promiscuous
+        self.any_channel = any_channel
+        self.enabled = True
+        # Set by the owner: called with (frame, rssi_dbm, channel).
+        self.on_receive: Optional[Callable[[Dot11Frame, float, int], None]] = None
+        self._medium: Optional["Medium"] = None
+        # PHY counters.
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_dropped_loss = 0
+        self.rx_dropped_collision = 0
+
+    def attach(self, medium: "Medium") -> None:
+        self._medium = medium
+
+    def transmit(self, frame: Dot11Frame, bitrate: float = DEFAULT_BITRATE) -> None:
+        """Send a frame onto the air on this port's channel."""
+        if self._medium is None:
+            raise ConfigurationError(f"radio {self.name!r} is not attached to a medium")
+        if not self.enabled:
+            return
+        self._medium.transmit(self, frame, bitrate)
+
+    def __repr__(self) -> str:
+        return f"<RadioPort {self.name} ch={self.channel} at ({self.position.x:.0f},{self.position.y:.0f})>"
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping for a transmission currently occupying the air."""
+
+    port: RadioPort
+    channel: int
+    start: float
+    end: float
+    frame: Dot11Frame
+    collided_at: set[RadioPort] = field(default_factory=set)
+
+
+class Medium:
+    """The 2.4 GHz band for one simulated site."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path_loss: Optional[LogDistancePathLoss] = None,
+        loss_model: Optional[FrameLossModel] = None,
+        *,
+        collisions: bool = True,
+        capture_margin_db: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.path_loss = path_loss or LogDistancePathLoss()
+        self.loss_model = loss_model or FrameLossModel()
+        self.collisions = collisions
+        self.capture_margin_db = capture_margin_db
+        self.ports: list[RadioPort] = []
+        self._inflight: list[_InFlight] = []
+        self._rng = sim.rng.substream("radio.medium")
+        self._jammers: list = []  # populated by interference.Jammer
+        # Per-channel medium reservation (CSMA-style deferral).
+        self._busy_until: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, port: RadioPort) -> RadioPort:
+        if port in self.ports:
+            raise ConfigurationError(f"radio {port.name!r} already attached")
+        self.ports.append(port)
+        port.attach(self)
+        return port
+
+    def detach(self, port: RadioPort) -> None:
+        if port in self.ports:
+            self.ports.remove(port)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def airtime(self, frame: Dot11Frame, bitrate: float) -> float:
+        return PREAMBLE_SECONDS + frame.air_bytes() * 8.0 / bitrate
+
+    def rssi_between(self, tx: RadioPort, rx: RadioPort) -> float:
+        """RSSI at ``rx`` for a transmission from ``tx`` (before channel rejection)."""
+        distance = tx.position.distance_to(rx.position)
+        return self.path_loss.rssi_dbm(tx.tx_power_dbm, distance, self._rng)
+
+    def transmit(self, tx_port: RadioPort, frame: Dot11Frame, bitrate: float,
+                 *, carrier_sense: bool = True) -> None:
+        """Put a frame on the air, deferring while the channel is busy.
+
+        Deferral models CSMA/CA coarsely: a transmitter waits for the
+        latest reservation on any overlapping channel, plus a small
+        random backoff.  ``carrier_sense=False`` transmits immediately
+        (a misbehaving injector), risking collisions.
+        """
+        now = self.sim.now
+        duration = self.airtime(frame, bitrate)
+        start = now
+        if carrier_sense:
+            for ch, until in self._busy_until.items():
+                if until > start and channels_overlap(ch, tx_port.channel):
+                    start = until
+            if start > now:
+                start += self._rng.uniform(50e-6, 400e-6)  # DIFS + backoff slots
+        self._busy_until[tx_port.channel] = max(
+            self._busy_until.get(tx_port.channel, 0.0), start + duration
+        )
+        if start > now:
+            self.sim.schedule_at(start, self._begin_tx, tx_port, frame, duration)
+        else:
+            self._begin_tx(tx_port, frame, duration)
+
+    def _begin_tx(self, tx_port: RadioPort, frame: Dot11Frame, duration: float) -> None:
+        now = self.sim.now
+        entry = _InFlight(
+            port=tx_port, channel=tx_port.channel, start=now, end=now + duration, frame=frame
+        )
+        tx_port.tx_frames += 1
+        tx_port.tx_bytes += frame.air_bytes()
+        if self.collisions:
+            self._mark_collisions(entry)
+        self._inflight.append(entry)
+        self.sim.schedule(duration, self._complete, entry)
+
+    def _mark_collisions(self, new: _InFlight) -> None:
+        """Resolve time-overlap between ``new`` and frames already in the air."""
+        self._inflight = [e for e in self._inflight if e.end > self.sim.now]
+        for other in self._inflight:
+            if not channels_overlap(new.channel, other.channel):
+                continue
+            # At each potential receiver, the weaker of two overlapping
+            # signals is corrupted; both are if within the capture margin.
+            for rx in self.ports:
+                if rx is new.port or rx is other.port:
+                    continue
+                rssi_new = self.rssi_between(new.port, rx)
+                rssi_other = self.rssi_between(other.port, rx)
+                if not (self.loss_model.hearable(rssi_new) and self.loss_model.hearable(rssi_other)):
+                    continue
+                if rssi_new - rssi_other >= self.capture_margin_db:
+                    other.collided_at.add(rx)
+                elif rssi_other - rssi_new >= self.capture_margin_db:
+                    new.collided_at.add(rx)
+                else:
+                    new.collided_at.add(rx)
+                    other.collided_at.add(rx)
+
+    def _complete(self, entry: _InFlight) -> None:
+        """Deliver a finished transmission to every eligible receiver."""
+        if entry in self._inflight:
+            self._inflight.remove(entry)
+        tx_port = entry.port
+        for rx in self.ports:
+            if rx is tx_port or not rx.enabled or rx.on_receive is None:
+                continue
+            rejection = self._channel_rejection(entry.channel, rx)
+            if rejection is None:
+                continue
+            rssi = self.rssi_between(tx_port, rx) - rejection
+            if not self.loss_model.hearable(rssi):
+                continue
+            if rx in entry.collided_at:
+                rx.rx_dropped_collision += 1
+                continue
+            p_ok = self.loss_model.success_probability(rssi)
+            p_ok *= 1.0 - self._jamming_loss(entry.channel, rx)
+            if not self._rng.bernoulli(p_ok):
+                rx.rx_dropped_loss += 1
+                continue
+            rx.rx_frames += 1
+            rx.on_receive(entry.frame, rssi, entry.channel)
+
+    def _channel_rejection(self, tx_channel: int, rx: RadioPort) -> Optional[float]:
+        """dB of attenuation rx applies to tx_channel, or None if deaf to it."""
+        if rx.any_channel:
+            return 0.0
+        if not channels_overlap(tx_channel, rx.channel):
+            return None
+        return channel_rejection_db(tx_channel, rx.channel)
+
+    def _jamming_loss(self, channel: int, rx: RadioPort) -> float:
+        loss = 0.0
+        for jammer in self._jammers:
+            loss = max(loss, jammer.loss_at(channel, rx, self.sim.now))
+        return min(loss, 1.0)
+
+    def register_jammer(self, jammer) -> None:
+        self._jammers.append(jammer)

@@ -1,0 +1,80 @@
+"""Client mobility.
+
+§3.2's "network promiscuity" is a mobility story: "a computer will
+move between administrative domains".  Inside a single site,
+:class:`LinearMobility` moves a radio port smoothly so a client can
+literally walk from the legitimate AP's coverage into the rogue's —
+the physical mechanism that makes rogue capture effortless.  (Roaming
+*between* sites/domains is orchestrated at a higher level by
+:mod:`repro.workloads.roaming`.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.radio.medium import RadioPort
+from repro.radio.propagation import Position
+from repro.sim.kernel import Simulator
+
+__all__ = ["LinearMobility"]
+
+
+class LinearMobility:
+    """Moves a port through a list of waypoints at constant speed.
+
+    Position updates happen every ``tick_s`` simulated seconds; between
+    ticks the position is stationary (fine at WLAN timescales).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: RadioPort,
+        waypoints: list[Position],
+        speed_mps: float = 1.4,
+        tick_s: float = 0.5,
+        on_arrival: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        if not waypoints:
+            raise ValueError("need at least one waypoint")
+        self.sim = sim
+        self.port = port
+        self.waypoints = list(waypoints)
+        self.speed_mps = speed_mps
+        self.tick_s = tick_s
+        self.on_arrival = on_arrival
+        self._target_idx = 0
+        self._stopped = False
+        sim.call_soon(self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped or self._target_idx >= len(self.waypoints):
+            return
+        target = self.waypoints[self._target_idx]
+        pos = self.port.position
+        remaining = pos.distance_to(target)
+        step = self.speed_mps * self.tick_s
+        if remaining <= step:
+            self.port.position = target
+            self._target_idx += 1
+            if self._target_idx >= len(self.waypoints):
+                if self.on_arrival is not None:
+                    self.on_arrival()
+                return
+        else:
+            frac = step / remaining
+            self.port.position = Position(
+                pos.x + (target.x - pos.x) * frac,
+                pos.y + (target.y - pos.y) * frac,
+            )
+        self.sim.schedule(self.tick_s, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def arrived(self) -> bool:
+        return self._target_idx >= len(self.waypoints)

@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the simulator and protocol stacks."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message could not be parsed or violates the state machine."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, integrity failure, ...)."""
+
+
+class IntegrityError(CryptoError):
+    """An integrity check (ICV, MIC, HMAC, MD5SUM) did not verify."""
+
+
+class ConfigurationError(ReproError):
+    """A host, NIC, or scenario was configured inconsistently."""
+
+
+class NetworkError(ReproError):
+    """A network operation could not complete (no route, no ARP entry...)."""
+
+
+class SocketError(NetworkError):
+    """A simulated-socket operation failed (refused, reset, not connected)."""

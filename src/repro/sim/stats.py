@@ -1,0 +1,176 @@
+"""Small statistics toolkit used by experiments and benchmarks.
+
+Online (single-pass) accumulators only: experiments can run for millions
+of events without retaining per-sample state, except where a
+distribution is explicitly wanted (:class:`Histogram`,
+:class:`TimeSeries`).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Counter", "Histogram", "TimeSeries", "Welford", "RateMeter", "summarize"]
+
+
+class Counter:
+    """Named integer counters with a tidy report."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def incr(self, name: str, by: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def report(self) -> str:
+        width = max((len(k) for k in self._counts), default=1)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in sorted(self._counts.items()))
+
+
+class Welford:
+    """Online mean/variance (Welford's algorithm; numerically stable)."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        if not self.n:
+            return "<Welford empty>"
+        return f"<Welford n={self.n} mean={self.mean:.4g} sd={self.stdev:.4g}>"
+
+
+class Histogram:
+    """Fixed-bin histogram over [lo, hi); overflow/underflow tracked separately."""
+
+    def __init__(self, lo: float, hi: float, bins: int) -> None:
+        if hi <= lo or bins < 1:
+            raise ValueError("invalid histogram bounds")
+        self.lo, self.hi, self.bins = lo, hi, bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self._edges = [lo + (hi - lo) * i / bins for i in range(bins + 1)]
+
+    def add(self, x: float) -> None:
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            idx = bisect_right(self._edges, x) - 1
+            self.counts[min(idx, self.bins - 1)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bin midpoints (in-range samples only)."""
+        inrange = sum(self.counts)
+        if inrange == 0:
+            return math.nan
+        target = q * inrange
+        acc = 0
+        for i, c in enumerate(self.counts):
+            acc += c
+            if acc >= target:
+                return (self._edges[i] + self._edges[i + 1]) / 2
+        return self._edges[-1]
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples with simple resampling for reports."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("TimeSeries must be appended in time order")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        out = TimeSeries()
+        for t, v in zip(self.times, self.values):
+            if t0 <= t < t1:
+                out.add(t, v)
+        return out
+
+
+class RateMeter:
+    """Counts events and reports a rate over the observed span."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.first: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def mark(self, t: float, n: int = 1) -> None:
+        self.count += n
+        if self.first is None:
+            self.first = t
+        self.last = t
+
+    def rate(self) -> float:
+        if self.first is None or self.last is None or self.last <= self.first:
+            return 0.0
+        return self.count / (self.last - self.first)
+
+
+def summarize(xs: Sequence[float]) -> dict[str, float]:
+    """Mean / stdev / min / max / median for a small sample (reports)."""
+    if not xs:
+        return {"n": 0, "mean": math.nan, "stdev": math.nan, "min": math.nan, "max": math.nan, "median": math.nan}
+    w = Welford()
+    w.extend(xs)
+    ordered = sorted(xs)
+    mid = len(ordered) // 2
+    median = ordered[mid] if len(ordered) % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    return {"n": w.n, "mean": w.mean, "stdev": w.stdev, "min": w.min, "max": w.max, "median": median}

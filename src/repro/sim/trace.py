@@ -1,0 +1,130 @@
+"""Structured event tracing.
+
+Every layer of the simulated stack reports interesting moments
+(association, deauth injection, netsed rewrite, HMAC failure, ...) to
+the simulator's :class:`Trace`.  Experiments query it instead of
+scraping logs, and tests assert on it instead of monkeypatching
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time the event occurred.
+    category:
+        Dotted namespace such as ``"dot11.assoc"`` or ``"netsed.rewrite"``.
+    source:
+        Name of the emitting component (host or module name).
+    detail:
+        Free-form key/value payload describing the event.
+    """
+
+    time: float
+    category: str
+    source: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        return f"[{self.time:10.6f}] {self.category:<24} {self.source:<16} {kv}"
+
+
+class Trace:
+    """An append-only record of simulation events with query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.records: list[TraceRecord] = []
+        self.capacity = capacity
+        self._listeners: list[tuple[str, Callable[[TraceRecord], None]]] = []
+        self._clock: Callable[[], float] = lambda: 0.0
+        self.enabled = True
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the time source (normally ``lambda: sim.now``)."""
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit(self, category: str, source: str, **detail: Any) -> Optional[TraceRecord]:
+        """Record an event and notify any matching listeners."""
+        if not self.enabled:
+            return None
+        rec = TraceRecord(time=self._clock(), category=category, source=source, detail=detail)
+        self.records.append(rec)
+        if self.capacity is not None and len(self.records) > self.capacity:
+            # Drop the oldest half in one slice rather than one-at-a-time.
+            del self.records[: self.capacity // 2]
+        for prefix, cb in self._listeners:
+            if category.startswith(prefix):
+                cb(rec)
+        return rec
+
+    def subscribe(self, prefix: str, callback: Callable[[TraceRecord], None]) -> Callable[[], None]:
+        """Call ``callback`` for every future record whose category starts with ``prefix``."""
+        entry = (prefix, callback)
+        self._listeners.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._listeners:
+                self._listeners.remove(entry)
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: float = 0.0,
+        **detail_filters: Any,
+    ) -> Iterator[TraceRecord]:
+        """Iterate records matching all provided filters.
+
+        ``category`` is a prefix match; ``detail_filters`` require exact
+        equality on keys of :attr:`TraceRecord.detail`.
+        """
+        for rec in self.records:
+            if rec.time < since:
+                continue
+            if category is not None and not rec.category.startswith(category):
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if detail_filters and any(
+                rec.detail.get(k) != v for k, v in detail_filters.items()
+            ):
+                continue
+            yield rec
+
+    def count(self, category: Optional[str] = None, **kw: Any) -> int:
+        """Number of records matching the filters of :meth:`select`."""
+        return sum(1 for _ in self.select(category=category, **kw))
+
+    def last(self, category: Optional[str] = None, **kw: Any) -> Optional[TraceRecord]:
+        """Most recent matching record, or None."""
+        result = None
+        for rec in self.select(category=category, **kw):
+            result = rec
+        return result
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self, category: Optional[str] = None) -> str:
+        """Human-readable transcript (used by examples and debugging)."""
+        return "\n".join(str(r) for r in self.select(category=category))

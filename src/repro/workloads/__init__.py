@@ -1,0 +1,14 @@
+"""Workload generators: traffic sources and roaming behaviour."""
+
+from repro.workloads.roaming import RoamingOutcome, simulate_roaming_client
+from repro.workloads.traffic import BulkTcpTransfer, CbrUdpStream, WepTrafficPump
+from repro.workloads.web import BrowsingWorkload
+
+__all__ = [
+    "BrowsingWorkload",
+    "BulkTcpTransfer",
+    "CbrUdpStream",
+    "RoamingOutcome",
+    "WepTrafficPump",
+    "simulate_roaming_client",
+]

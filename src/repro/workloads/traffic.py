@@ -1,0 +1,173 @@
+"""Traffic sources.
+
+* :class:`CbrUdpStream` — constant-bit-rate UDP with per-packet
+  latency bookkeeping: the probe traffic for the VPN-overhead sweep
+  (§5.3's "any UDP traffic is subject to unnecessary retransmission").
+* :class:`BulkTcpTransfer` — a timed bulk byte push for goodput
+  measurements.
+* :class:`WepTrafficPump` — background WEP data frames from a station,
+  to feed Airsnort's weak-IV collection at a controlled rate.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from repro.hosts.host import Host
+from repro.netstack.addressing import IPv4Address
+from repro.sim.errors import SocketError
+
+__all__ = ["BulkTcpTransfer", "CbrUdpStream", "WepTrafficPump"]
+
+
+class CbrUdpStream:
+    """Constant-rate UDP sender + receiver-side latency collector.
+
+    Each datagram carries (sequence, send timestamp).  The receiver end
+    records delivery latency and duplicates, giving E-VPNOH its
+    delivery-ratio and latency series.
+    """
+
+    def __init__(self, sender: Host, receiver: Host,
+                 dst_ip: "IPv4Address | str", *, port: int = 9000,
+                 rate_pps: float = 50.0, payload_size: int = 160) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.dst_ip = IPv4Address(dst_ip)
+        self.port = port
+        self.rate_pps = rate_pps
+        self.payload_size = max(12, payload_size)
+        self.tx_sock = sender.udp_socket()
+        self.rx_sock = receiver.udp_socket(port)
+        self.rx_sock.on_datagram = self._on_datagram
+        self.sent = 0
+        self.received = 0
+        self.duplicates = 0
+        self.latencies_s: list[float] = []
+        self._seen: set[int] = set()
+        self._stop: Optional[Callable[[], None]] = None
+
+    def start(self, duration_s: Optional[float] = None) -> None:
+        sim = self.sender.sim
+        until = sim.now + duration_s if duration_s is not None else None
+        self._stop = sim.every(1.0 / self.rate_pps, self._send_one, until=until)
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def _send_one(self) -> None:
+        sim = self.sender.sim
+        header = struct.pack(">Id", self.sent, sim.now)
+        payload = header + b"\x00" * (self.payload_size - len(header))
+        try:
+            self.tx_sock.sendto(payload, self.dst_ip, self.port)
+        except SocketError:
+            return
+        self.sent += 1
+
+    def _on_datagram(self, payload: bytes, src_ip: IPv4Address, src_port: int) -> None:
+        if len(payload) < 12:
+            return
+        seq, t_sent = struct.unpack(">Id", payload[:12])
+        if seq in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(seq)
+        self.received += 1
+        self.latencies_s.append(self.receiver.sim.now - t_sent)
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.received / self.sent if self.sent else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        ordered = sorted(self.latencies_s)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+class BulkTcpTransfer:
+    """Push N bytes over TCP and report goodput."""
+
+    def __init__(self, sender: Host, receiver: Host,
+                 dst_ip: "IPv4Address | str", *, port: int = 9100,
+                 total_bytes: int = 200_000) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.dst_ip = IPv4Address(dst_ip)
+        self.port = port
+        self.total_bytes = total_bytes
+        self.received_bytes = 0
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.conn = None
+        receiver.tcp_listen(port, self._on_connection)
+
+    def _on_connection(self, conn) -> None:
+        def on_data(data: bytes) -> None:
+            self.received_bytes += len(data)
+            if self.received_bytes >= self.total_bytes and self.end_time is None:
+                self.end_time = self.receiver.sim.now
+
+        conn.on_data = on_data
+
+    def start(self) -> None:
+        sim = self.sender.sim
+        self.start_time = sim.now
+        self.conn = self.sender.tcp_connect(self.dst_ip, self.port)
+        blob = bytes(self.total_bytes)
+
+        def push() -> None:
+            self.conn.send(blob)
+            self.conn.close()
+
+        self.conn.on_established = push
+
+    @property
+    def complete(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def goodput_bps(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        elapsed = self.end_time - self.start_time
+        return self.received_bytes * 8.0 / elapsed if elapsed > 0 else 0.0
+
+
+class WepTrafficPump:
+    """Background UDP chatter from a station, to generate WEP frames.
+
+    Airsnort needs traffic: each data frame burns one IV.  The pump
+    sends small datagrams at a fixed rate to any sink, sweeping the
+    sequential IV space through the FMS-weak classes.
+    """
+
+    def __init__(self, station: Host, sink_ip: "IPv4Address | str",
+                 *, rate_pps: float = 200.0, port: int = 9999) -> None:
+        self.station = station
+        self.sink_ip = IPv4Address(sink_ip)
+        self.port = port
+        self.rate_pps = rate_pps
+        self.sock = station.udp_socket()
+        self.sent = 0
+        self._stop: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        self._stop = self.station.sim.every(1.0 / self.rate_pps, self._send)
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def _send(self) -> None:
+        try:
+            self.sock.sendto(b"background traffic", self.sink_ip, self.port)
+            self.sent += 1
+        except SocketError:
+            pass

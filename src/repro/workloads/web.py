@@ -1,0 +1,48 @@
+"""Browsing workloads: a user clicking around the web."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.httpsim.browser import Browser
+from repro.sim.kernel import Simulator
+
+__all__ = ["BrowsingWorkload"]
+
+
+class BrowsingWorkload:
+    """Visit a list of URLs with think time between pages.
+
+    Used by the hostile-hotspot experiments: ordinary browsing of
+    trusted sites, which §5.1 argues is unsafe on a hostile segment.
+    """
+
+    def __init__(self, sim: Simulator, browser: Browser, urls: list[str],
+                 *, think_time_s: float = 2.0) -> None:
+        self.sim = sim
+        self.browser = browser
+        self.urls = list(urls)
+        self.think_time_s = think_time_s
+        self.pages_loaded = 0
+        self.pages_failed = 0
+        self.done = False
+        self._idx = 0
+
+    def start(self) -> None:
+        self._next()
+
+    def _next(self) -> None:
+        if self._idx >= len(self.urls):
+            self.done = True
+            return
+        url = self.urls[self._idx]
+        self._idx += 1
+
+        def on_done(visit) -> None:
+            if visit.status == 200:
+                self.pages_loaded += 1
+            else:
+                self.pages_failed += 1
+            self.sim.schedule(self.think_time_s, self._next)
+
+        self.browser.visit(url, on_done=on_done)

@@ -1,0 +1,99 @@
+"""Deauthentication forcing: the §4 victim-capture mechanism."""
+
+import pytest
+
+from repro.attacks.deauth import DeauthAttacker
+from repro.core.scenario import build_corp_scenario
+from repro.radio.propagation import Position
+
+
+def test_deauth_disconnects_victim():
+    scenario = build_corp_scenario(seed=41, with_rogue=False)
+    victim = scenario.add_victim(position=Position(5.0, 0.0))
+    scenario.sim.run_for(5.0)
+    assert victim.wlan.associated
+    attacker = DeauthAttacker(
+        scenario.sim, scenario.medium, Position(8.0, 0.0),
+        ap_bssid=scenario.ap.bssid, channel=1,
+        target=victim.wlan.mac, rate_hz=20.0)
+    attacker.start()
+    scenario.sim.run_for(2.0)
+    attacker.stop()
+    assert victim.wlan.deauths_received > 0
+    assert attacker.frames_injected > 10
+
+
+def test_sustained_deauth_drives_victim_to_rogue():
+    """§4: force disassociation 'until the client associates with the
+    Rogue AP'.  The victim sits closer to the legit AP, so without the
+    attack it stays there; the deauth storm's selection penalties
+    eventually push it to the rogue."""
+    scenario = build_corp_scenario(seed=42, rogue_position=Position(20.0, 0.0))
+    victim = scenario.add_victim(position=Position(6.0, 0.0))
+    scenario.sim.run_for(5.0)
+    assert victim.associated_channel == 1  # prefers the legit AP
+
+    attacker = DeauthAttacker(
+        scenario.sim, scenario.medium, Position(6.0, 2.0),
+        ap_bssid=scenario.ap.bssid, channel=1,
+        target=victim.wlan.mac, rate_hz=20.0)
+    attacker.start()
+    captured_at = None
+    for _ in range(120):
+        scenario.sim.run_for(1.0)
+        if victim.associated_channel == 6:
+            captured_at = scenario.sim.now
+            break
+    attacker.stop()
+    assert captured_at is not None, "victim never fell onto the rogue"
+    assert victim.wlan.mac in scenario.rogue.captured_clients()
+
+
+def test_broadcast_deauth_hits_all_clients():
+    scenario = build_corp_scenario(seed=43, with_rogue=False)
+    v1 = scenario.add_victim(position=Position(5.0, 0.0), ip="10.0.0.23", name="v1")
+    v2 = scenario.add_victim(position=Position(-5.0, 0.0), ip="10.0.0.24", name="v2")
+    scenario.sim.run_for(5.0)
+    attacker = DeauthAttacker(
+        scenario.sim, scenario.medium, Position(0.0, 5.0),
+        ap_bssid=scenario.ap.bssid, channel=1,
+        target=None, rate_hz=10.0)
+    attacker.start()
+    scenario.sim.run_for(2.0)
+    attacker.stop()
+    assert v1.wlan.deauths_received > 0
+    assert v2.wlan.deauths_received > 0
+
+
+def test_deauth_from_wrong_bssid_ignored():
+    """The victim only obeys deauths naming its own BSS (the forgery
+    works because the attacker *can* name it)."""
+    from repro.dot11.mac import MacAddress
+    scenario = build_corp_scenario(seed=44, with_rogue=False)
+    victim = scenario.add_victim(position=Position(5.0, 0.0))
+    scenario.sim.run_for(5.0)
+    attacker = DeauthAttacker(
+        scenario.sim, scenario.medium, Position(8.0, 0.0),
+        ap_bssid=MacAddress("de:ad:be:ef:00:00"),  # not the victim's BSS
+        channel=1, target=victim.wlan.mac, rate_hz=20.0)
+    attacker.start()
+    scenario.sim.run_for(2.0)
+    attacker.stop()
+    assert victim.wlan.deauths_received == 0
+    assert victim.wlan.associated
+
+
+def test_deauth_rate_controls_injection_count():
+    scenario = build_corp_scenario(seed=45, with_rogue=False)
+    slow = DeauthAttacker(scenario.sim, scenario.medium, Position(0, 0),
+                          ap_bssid=scenario.ap.bssid, channel=1, rate_hz=2.0,
+                          name="slow")
+    fast = DeauthAttacker(scenario.sim, scenario.medium, Position(0, 1),
+                          ap_bssid=scenario.ap.bssid, channel=1, rate_hz=20.0,
+                          name="fast")
+    slow.start()
+    fast.start()
+    scenario.sim.run_for(5.0)
+    slow.stop()
+    fast.stop()
+    assert fast.frames_injected > 4 * slow.frames_injected

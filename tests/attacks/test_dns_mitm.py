@@ -1,0 +1,92 @@
+"""The §4.2 DNS-lying variation of the rogue-AP MITM."""
+
+import pytest
+
+from repro.core.scenario import (
+    DNS_IP,
+    EVIL_IP,
+    TARGET_HOSTNAME,
+    TARGET_IP,
+    build_corp_scenario,
+)
+from repro.httpsim.browser import Browser
+from repro.httpsim.content import make_download_page
+from repro.netstack.addressing import IPv4Address
+
+
+def test_honest_resolution_through_rogue():
+    """Without the DNS MITM armed, the rogue forwards answers honestly."""
+    scenario = build_corp_scenario(seed=321)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    assert victim.associated_channel == 6  # on the rogue
+    resolver = scenario.resolver_for(victim)
+    answers = []
+    resolver.resolve(TARGET_HOSTNAME, answers.append)
+    scenario.sim.run_for(5.0)
+    assert answers == [IPv4Address(TARGET_IP)]
+
+
+def test_dns_mitm_rewrites_selected_answer():
+    scenario = build_corp_scenario(seed=322)
+    scenario.rogue.install_dns_mitm({TARGET_HOSTNAME: EVIL_IP})
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    resolver = scenario.resolver_for(victim)
+    answers = []
+    resolver.resolve(TARGET_HOSTNAME, answers.append)
+    scenario.sim.run_for(5.0)
+    assert answers == [IPv4Address(EVIL_IP)]
+    assert scenario.rogue.dns_mitm.rewritten == 1
+
+
+def test_dns_mitm_leaves_other_names_honest():
+    """Selective lying: unlisted names resolve truthfully."""
+    scenario = build_corp_scenario(seed=323)
+    scenario.zone.add("www.other.example", "198.51.100.99")
+    scenario.rogue.install_dns_mitm({TARGET_HOSTNAME: EVIL_IP})
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    resolver = scenario.resolver_for(victim)
+    answers = []
+    resolver.resolve("www.other.example", answers.append)
+    scenario.sim.run_for(5.0)
+    assert answers == [IPv4Address("198.51.100.99")]
+
+
+def test_dns_mitm_full_compromise_via_cloned_site():
+    """End-to-end §4.2 variation: the attacker clones the whole download
+    page around the trojan (so the published MD5 matches the trojan by
+    construction) and redirects the *hostname* — no netsed needed."""
+    scenario = build_corp_scenario(seed=324)
+    # The attacker's server gets a complete cloned download page built
+    # around the trojan, so the page's published MD5SUM matches the
+    # trojan by construction (the attacker authors both).
+    make_download_page(scenario.evil_site, binary=scenario.trojan)
+
+    scenario.rogue.install_dns_mitm({TARGET_HOSTNAME: EVIL_IP})
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    resolver = scenario.resolver_for(victim)
+    browser = Browser(victim, resolver=resolver)
+    outcome = browser.download_and_run(
+        f"http://{TARGET_HOSTNAME}/download.html")
+    scenario.sim.run_for(60.0)
+    assert outcome.md5_ok is True     # the clone's digest matches its trojan
+    assert outcome.executed and outcome.trojaned
+    assert outcome.compromised
+    # And netsed never existed in this variation.
+    assert scenario.rogue.netsed is None
+
+
+def test_dns_mitm_removal_restores_honesty():
+    scenario = build_corp_scenario(seed=325)
+    mitm = scenario.rogue.install_dns_mitm({TARGET_HOSTNAME: EVIL_IP})
+    mitm.remove()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    resolver = scenario.resolver_for(victim)
+    answers = []
+    resolver.resolve(TARGET_HOSTNAME, answers.append)
+    scenario.sim.run_for(5.0)
+    assert answers == [IPv4Address(TARGET_IP)]

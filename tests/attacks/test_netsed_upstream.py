@@ -1,0 +1,63 @@
+"""netsed's request-direction rewriting and remaining edge paths."""
+
+import pytest
+
+from repro.attacks.netsed import NetsedProxy, NetsedRule, StreamingRewriter
+from repro.httpsim.content import Website
+from repro.httpsim.messages import HttpResponse
+from repro.httpsim.server import HttpServer
+from repro.netstack.ethernet import Switch
+from repro.sim.kernel import Simulator
+from tests.conftest import make_wired_host
+
+
+def test_rewrite_upstream_modifies_requests():
+    """netsed applies rules in both directions when asked — e.g. to
+    redirect which *path* the victim requests."""
+    sim = Simulator(seed=61)
+    lan = Switch(sim, "lan")
+    client = make_wired_host(sim, lan, "client", "10.0.0.1")
+    gateway = make_wired_host(sim, lan, "gw", "10.0.0.2")
+    server = make_wired_host(sim, lan, "server", "10.0.0.3")
+    site = Website()
+    site.add_page("/real", b"REAL PAGE", "text/plain")
+    site.add_page("/evil", b"EVIL PAGE", "text/plain")
+    srv = HttpServer(server, site, 80)
+    # Note: the s/old/new string syntax cannot carry '/' inside a
+    # pattern (the paper escapes with %2f for the same reason); pass a
+    # structured rule instead.
+    proxy = NetsedProxy(gateway, 10101, "10.0.0.3", 80,
+                        [NetsedRule(b"GET /real", b"GET /evil")],
+                        rewrite_upstream=True)
+    chunks = []
+    conn = client.tcp_connect("10.0.0.2", 10101)
+    conn.on_data = chunks.append
+    conn.on_established = lambda: conn.send(
+        b"GET /real HTTP/1.0\r\nHost: server\r\n\r\n")
+    sim.run_for(20.0)
+    body = b"".join(chunks)
+    assert b"EVIL PAGE" in body
+    assert srv.request_log[0].path == "/evil"  # the request was rewritten
+    assert proxy.total_replacements >= 1
+
+
+def test_streaming_rewriter_no_rules_identity():
+    rw = StreamingRewriter([])
+    out = rw.process(b"abc") + rw.process(b"def") + rw.flush()
+    assert out == b"abcdef"
+
+
+def test_streaming_rewriter_overlapping_occurrences():
+    rw = StreamingRewriter([NetsedRule(b"aa", b"XX")])
+    out = rw.process(b"aaaa") + rw.flush()
+    assert out == b"XXXX"
+    assert rw.replacements == 2
+
+
+def test_netsed_rule_equal_length_replacement_stream_safe():
+    """The paper's actual rules replace MD5 hex with MD5 hex — equal
+    length — which keeps even Content-Length-framed pages intact."""
+    rule = NetsedRule(b"a" * 32, b"b" * 32)
+    out, hits = rule.apply(b"prefix " + b"a" * 32 + b" suffix")
+    assert hits == 1
+    assert len(out) == len(b"prefix " + b"a" * 32 + b" suffix")

@@ -1,0 +1,74 @@
+"""The `python -m repro` CLI and the experiment registry."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.registry import EXPERIMENTS, get_experiment, render_result
+
+
+def test_registry_covers_design_index():
+    ids = {s.exp_id for s in EXPERIMENTS}
+    paper = {"FIG1", "FIG2", "FIG3", "E-WEP", "E-MAC", "E-FMS",
+             "E-DEAUTH", "E-NETSED", "E-WIRED", "E-VPNOH",
+             "E-DETECT", "E-PROM", "E-CNN", "E-8021X"}
+    extensions = {"X-PATH", "X-CONTAIN"}
+    assert ids == paper | extensions
+
+
+def test_registry_bench_targets_exist():
+    import os
+    for spec in EXPERIMENTS:
+        assert os.path.exists(spec.bench_target), spec.bench_target
+
+
+def test_get_experiment_case_insensitive():
+    assert get_experiment("fig2").exp_id == "FIG2"
+    with pytest.raises(KeyError):
+        get_experiment("E-NOPE")
+
+
+def test_render_result_tables_and_scalars():
+    out = render_result({"rows": [{"a": 1, "b": True}, {"a": 2, "c": "x"}],
+                         "note": "hello"})
+    assert "a" in out and "b" in out and "c" in out
+    assert "note = hello" in out
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "FIG1" in out and "E-8021X" in out
+
+
+def test_cli_threats(capsys):
+    assert main(["threats"]) == 0
+    out = capsys.readouterr().out
+    assert "rogue-access-point" in out
+
+
+def test_cli_run_fast_experiment(capsys):
+    assert main(["run", "E-8021X"]) == 0
+    out = capsys.readouterr().out
+    assert "ROGUE" in out and "completed in" in out
+
+
+def test_cli_run_unknown(capsys):
+    assert main(["run", "E-NOPE"]) == 2
+
+
+def test_cli_report_writes_markdown(tmp_path, monkeypatch, capsys):
+    """The report command runs the registry and writes a markdown file
+    (patched down to one fast experiment to keep the test quick)."""
+    import repro.__main__ as cli
+    from repro.core.registry import ExperimentSpec
+    from repro.core.experiments import exp_dot1x_wpa_gap
+
+    fast = [ExperimentSpec("E-8021X", "gap", "§2.2", exp_dot1x_wpa_gap,
+                           "benchmarks/test_dot1x_wpa_gap.py")]
+    monkeypatch.setattr(cli, "EXPERIMENTS", fast)
+    out_file = tmp_path / "report.md"
+    assert cli.main(["report", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "# Reproduction report" in text
+    assert "## E-8021X" in text
+    assert "ROGUE" in text

@@ -1,0 +1,45 @@
+"""CRC-32 against zlib and its linearity (the WEP ICV flaw)."""
+
+import zlib
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.crc import crc32, crc32_combine_xor, crc32_table
+
+
+@given(st.binary(max_size=2048))
+def test_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+def test_known_values():
+    assert crc32(b"") == 0
+    assert crc32(b"123456789") == 0xCBF43926  # the standard check value
+
+
+def test_incremental_computation():
+    whole = crc32(b"hello world")
+    # zlib-style chaining
+    part = crc32(b" world", crc32(b"hello"))
+    assert whole == part
+
+
+def test_table_shape():
+    table = crc32_table()
+    assert len(table) == 256
+    assert len(set(table)) == 256  # all entries distinct
+
+
+@given(st.binary(min_size=4, max_size=64), st.binary(min_size=4, max_size=64))
+def test_linearity_enables_wep_bit_flipping(a, b):
+    """crc(a xor b) == crc(a) xor crc(b) xor crc(0^len).
+
+    This identity is why WEP's encrypted CRC provides no integrity:
+    an attacker XORs a delta into the ciphertext and the matching
+    CRC delta into the encrypted ICV, never knowing the key.
+    """
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    xored = bytes(x ^ y for x, y in zip(a, b))
+    assert crc32(xored) == crc32_combine_xor(crc32(a), crc32(b), crc32(b"\x00" * n))

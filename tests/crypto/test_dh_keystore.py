@@ -1,0 +1,102 @@
+"""Diffie-Hellman agreement and the out-of-band KeyStore."""
+
+import pytest
+
+from repro.crypto.dh import (
+    DH_GROUP_1536,
+    DiffieHellman,
+    DhGroup,
+    authenticate_exchange,
+    derive_key,
+)
+from repro.crypto.dh import DH_GROUP_TOY
+from repro.crypto.keystore import Credential, KeyStore
+from repro.sim.errors import ConfigurationError
+from repro.sim.rng import SimRandom
+
+
+def test_toy_group_agreement():
+    a = DiffieHellman(DH_GROUP_TOY, SimRandom(1))
+    b = DiffieHellman(DH_GROUP_TOY, SimRandom(2))
+    assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+
+def test_1536_group_agreement():
+    a = DiffieHellman(DH_GROUP_1536, SimRandom(10))
+    b = DiffieHellman(DH_GROUP_1536, SimRandom(20))
+    shared = a.shared_secret(b.public)
+    assert shared == b.shared_secret(a.public)
+    assert len(shared) == 192  # 1536 bits
+
+
+def test_degenerate_public_values_rejected():
+    a = DiffieHellman(DH_GROUP_TOY, SimRandom(3))
+    for bad in (0, 1, DH_GROUP_TOY.p - 1, DH_GROUP_TOY.p):
+        with pytest.raises(ValueError):
+            a.shared_secret(bad)
+
+
+def test_distinct_parties_distinct_secrets():
+    a = DiffieHellman(DH_GROUP_TOY, SimRandom(4))
+    b = DiffieHellman(DH_GROUP_TOY, SimRandom(5))
+    c = DiffieHellman(DH_GROUP_TOY, SimRandom(6))
+    assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+
+def test_derive_key_length_and_labels():
+    assert len(derive_key(b"s", "enc", 7)) == 7
+    assert len(derive_key(b"s", "enc", 64)) == 64
+    assert derive_key(b"s", "enc", 16) != derive_key(b"s", "mac", 16)
+    assert derive_key(b"s", "enc", 16, b"sid1") != derive_key(b"s", "enc", 16, b"sid2")
+
+
+def test_authenticate_exchange_binds_psk():
+    t = b"transcript"
+    assert authenticate_exchange(b"psk1", t) != authenticate_exchange(b"psk2", t)
+    assert authenticate_exchange(b"psk1", t) == authenticate_exchange(b"psk1", t)
+
+
+# ----------------------------------------------------------------------
+# KeyStore
+# ----------------------------------------------------------------------
+
+def test_keystore_enroll_lookup():
+    ks = KeyStore()
+    cred = ks.enroll("vpn.corp", b"secret")
+    assert ks.lookup("vpn.corp") is cred
+    assert "vpn.corp" in ks
+    assert len(ks) == 1
+    assert ks.lookup("other") is None
+
+
+def test_keystore_require_missing_raises():
+    ks = KeyStore()
+    with pytest.raises(ConfigurationError):
+        ks.require("vpn.corp")
+
+
+def test_keystore_provenance_policy():
+    """§5.2.1: a purchased certificate is not trust."""
+    ks = KeyStore()
+    ks.enroll("hotspot.example", b"s", provenance="purchased-cert")
+    with pytest.raises(ConfigurationError):
+        ks.require("hotspot.example", trusted_only=True)
+    # But explicit opt-out works (for the experiment's control arm).
+    assert ks.require("hotspot.example", trusted_only=False).secret == b"s"
+
+
+def test_keystore_trustworthy_provenances():
+    assert Credential("p", b"s", "out-of-band").trustworthy
+    assert Credential("p", b"s", "secure-network").trustworthy
+    assert not Credential("p", b"s", "in-band").trustworthy
+
+
+def test_keystore_rejects_empty_secret():
+    with pytest.raises(ConfigurationError):
+        KeyStore().enroll("x", b"")
+
+
+def test_credential_fingerprint_not_secret():
+    cred = Credential("p", b"super-secret")
+    assert b"super-secret".hex() not in cred.fingerprint()
+    assert len(cred.fingerprint()) == 12

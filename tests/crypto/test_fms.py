@@ -1,0 +1,111 @@
+"""FMS key recovery: weak-IV classification and end-to-end cracking."""
+
+import pytest
+
+from repro.crypto.fms import FmsAttack, FmsSample, is_weak_iv, weak_iv_for
+from repro.crypto.rc4 import rc4_keystream
+from repro.crypto.wep import WepKey
+from repro.sim.rng import SimRandom
+
+
+def _samples_for(key: WepKey, byte_index: int, count: int):
+    """Generate weak-IV observations against a real per-packet keystream."""
+    for x in range(count):
+        iv = weak_iv_for(byte_index, x)
+        yield iv, rc4_keystream(key.per_packet_key(iv), 1)[0]
+
+
+def test_weak_iv_classification():
+    assert is_weak_iv(b"\x03\xff\x00")          # targets byte 0
+    assert is_weak_iv(b"\x03\xff\x00", 0)
+    assert not is_weak_iv(b"\x03\xff\x00", 1)
+    assert is_weak_iv(b"\x07\xff\x42", 4)
+    assert not is_weak_iv(b"\x03\xfe\x00")      # second byte must be 255
+    assert not is_weak_iv(b"\x02\xff\x00")      # A = -1 invalid
+    assert not is_weak_iv(b"\x11\xff\x00", 5)   # wrong byte index
+
+
+def test_weak_iv_for_construction():
+    assert weak_iv_for(0) == b"\x03\xff\x00"
+    assert weak_iv_for(4, 0x99) == b"\x07\xff\x99"
+    with pytest.raises(ValueError):
+        weak_iv_for(13)
+
+
+def test_sample_validation():
+    with pytest.raises(ValueError):
+        FmsSample(b"\x00\x00", 1)
+    with pytest.raises(ValueError):
+        FmsSample(b"\x00\x00\x00", 300)
+
+
+def test_add_sample_filters_non_weak():
+    attack = FmsAttack(key_length=5)
+    assert attack.add_sample(b"\x03\xff\x01", 0x10) is True
+    assert attack.add_sample(b"\x03\x00\x01", 0x10) is False
+    assert attack.add_sample(b"\x20\xff\x01", 0x10) is False  # A=29 > keylen
+    assert attack.samples_seen == 3
+    assert attack.weak_samples == 1
+
+
+def test_votes_require_sequential_prefix():
+    attack = FmsAttack(key_length=5)
+    with pytest.raises(ValueError):
+        attack.votes_for_byte(2, b"x")  # prefix must be exactly 2 bytes
+
+
+def test_full_recovery_40bit():
+    key = WepKey.from_passphrase("SECRET", bits=40)
+    attack = FmsAttack(key_length=5)
+    for a in range(5):
+        attack.extend(_samples_for(key, a, 256))
+    assert attack.recover() == key.key
+
+
+def test_recovery_with_verifier_uses_fewer_samples():
+    """Ranked search + verification resolves with fewer weak IVs than
+    a straight vote — Airsnort's 'breadth' trick."""
+    key = WepKey(b"\x01\x9a\xfcZq")
+    truth = key.key
+
+    def verifier(candidate: bytes) -> bool:
+        return candidate == truth
+
+    attack = FmsAttack(key_length=5)
+    for a in range(5):
+        attack.extend(_samples_for(key, a, 96))
+    assert attack.recover(verifier=verifier, search_width=4) == truth
+
+
+def test_insufficient_samples_returns_none_or_wrong():
+    key = WepKey.from_passphrase("SECRET", bits=40)
+    attack = FmsAttack(key_length=5)
+    # Zero samples: cannot recover.
+    assert attack.recover() is None
+
+
+def test_recovery_is_deterministic():
+    key = WepKey(b"ABCDE")
+    results = []
+    for _ in range(2):
+        attack = FmsAttack(key_length=5)
+        for a in range(5):
+            attack.extend(_samples_for(key, a, 200))
+        results.append(attack.recover())
+    assert results[0] == results[1] == key.key
+
+
+def test_104bit_recovery():
+    key = WepKey.from_passphrase("thirteenchars", bits=104)
+    attack = FmsAttack(key_length=13)
+    for a in range(13):
+        attack.extend(_samples_for(key, a, 256))
+    assert attack.recover() == key.key
+
+
+def test_bucket_sizes_report_coverage():
+    attack = FmsAttack(key_length=5)
+    attack.extend(_samples_for(WepKey(b"AAAAA"), 2, 10))
+    sizes = attack.bucket_sizes()
+    assert sizes[2] == 10
+    assert sum(sizes) == 10

@@ -1,0 +1,94 @@
+"""The numpy FMS kernel must agree exactly with the scalar reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fms import FmsAttack, weak_iv_for
+from repro.crypto.fms_fast import votes_for_byte_vectorized
+from repro.crypto.rc4 import rc4_keystream
+from repro.crypto.wep import WepKey
+from repro.sim.rng import SimRandom
+
+
+def _attack_with_samples(key: WepKey, a: int, xs, outs_override=None):
+    attack = FmsAttack(key_length=len(key.key))
+    for idx, x in enumerate(xs):
+        iv = weak_iv_for(a, x)
+        out = (outs_override[idx] if outs_override is not None
+               else rc4_keystream(key.per_packet_key(iv), 1)[0])
+        attack.add_sample(iv, out)
+    return attack
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    key_bytes=st.binary(min_size=5, max_size=5),
+    a=st.integers(min_value=0, max_value=4),
+    xs=st.lists(st.integers(0, 255), min_size=1, max_size=120, unique=True),
+)
+def test_vectorized_equals_scalar(key_bytes, a, xs):
+    key = WepKey(key_bytes)
+    attack = _attack_with_samples(key, a, xs)
+    prefix = key.key[:a]
+    scalar = attack.votes_for_byte(a, prefix, use_numpy=False)
+    vectorized = attack.votes_for_byte(a, prefix, use_numpy=True)
+    assert scalar == vectorized
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=4),
+    n=st.integers(min_value=1, max_value=80),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_vectorized_equals_scalar_on_noise(a, n, seed):
+    """Agreement must hold for arbitrary (even non-keystream) outputs."""
+    rng = SimRandom(seed)
+    key = WepKey(rng.bytes(5))
+    xs = rng.sample(range(256), min(n, 256))
+    outs = [rng.randint(0, 255) for _ in xs]
+    attack = _attack_with_samples(key, a, xs, outs_override=outs)
+    prefix = key.key[:a]
+    assert attack.votes_for_byte(a, prefix, use_numpy=False) == \
+        attack.votes_for_byte(a, prefix, use_numpy=True)
+
+
+def test_empty_bucket():
+    assert votes_for_byte_vectorized([], 2, b"ab") == [0] * 256
+
+
+def test_prefix_length_validated():
+    attack = _attack_with_samples(WepKey(b"AAAAA"), 2, range(10))
+    with pytest.raises(ValueError):
+        attack.votes_for_byte(2, b"x", use_numpy=True)
+
+
+def test_recovery_works_through_numpy_path():
+    """Full key recovery with the dispatch threshold actually crossed."""
+    key = WepKey.from_passphrase("SECRET", bits=40)
+    attack = FmsAttack(key_length=5)
+    for a in range(5):
+        for x in range(200):  # 200 > MIN_SAMPLES_FOR_NUMPY
+            iv = weak_iv_for(a, x)
+            attack.add_sample(iv, rc4_keystream(key.per_packet_key(iv), 1)[0])
+    assert attack.recover() == key.key
+
+
+def test_numpy_path_is_faster_on_large_buckets():
+    """The point of the kernel: measured speedup at scale."""
+    import time
+    key = WepKey(b"BENCH")
+    attack = _attack_with_samples(key, 4, range(256))
+    prefix = key.key[:4]
+
+    def timed(use_numpy, reps=20):
+        start = time.perf_counter()
+        for _ in range(reps):
+            attack.votes_for_byte(4, prefix, use_numpy=use_numpy)
+        return time.perf_counter() - start
+
+    timed(True, reps=2)  # warm numpy
+    scalar_t = timed(False)
+    numpy_t = timed(True)
+    assert numpy_t < scalar_t  # at 256 samples the vector path must win

@@ -1,0 +1,50 @@
+"""HMAC (RFC 2104) against the standard library, plus RFC 2202 vectors."""
+
+import hashlib
+import hmac as stdhmac
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hmac import constant_time_equal, hmac_md5, hmac_sha1
+
+
+RFC2202_SHA1 = [
+    (b"\x0b" * 20, b"Hi There", "b617318655057264e28bc0b6fb378c8ef146be00"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"),
+    (b"\xaa" * 80, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "aa4ae5e15272d00e95705637ce8a3b55ed402112"),
+]
+
+
+@pytest.mark.parametrize("key,msg,expected", RFC2202_SHA1)
+def test_rfc2202_sha1_vectors(key, msg, expected):
+    assert hmac_sha1(key, msg).hex() == expected
+
+
+@given(st.binary(min_size=1, max_size=200), st.binary(max_size=500))
+def test_hmac_sha1_matches_stdlib(key, msg):
+    assert hmac_sha1(key, msg) == stdhmac.new(key, msg, hashlib.sha1).digest()
+
+
+@given(st.binary(min_size=1, max_size=200), st.binary(max_size=500))
+def test_hmac_md5_matches_stdlib(key, msg):
+    assert hmac_md5(key, msg) == stdhmac.new(key, msg, hashlib.md5).digest()
+
+
+def test_key_longer_than_block_is_hashed_first():
+    long_key = b"k" * 200
+    assert hmac_sha1(long_key, b"m") == stdhmac.new(long_key, b"m", hashlib.sha1).digest()
+
+
+def test_different_keys_different_macs():
+    assert hmac_sha1(b"key1", b"msg") != hmac_sha1(b"key2", b"msg")
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"abc", b"abc")
+    assert not constant_time_equal(b"abc", b"abd")
+    assert not constant_time_equal(b"abc", b"abcd")
+    assert constant_time_equal(b"", b"")

@@ -1,0 +1,74 @@
+"""RC4 against published test vectors and structural properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.rc4 import RC4, ksa, ksa_partial, prga, rc4_keystream
+
+
+# Classic vectors (Wikipedia / original cypherpunks posting).
+VECTORS = [
+    (b"Key", b"Plaintext", "bbf316e8d940af0ad3"),
+    (b"Wiki", b"pedia", "1021bf0420"),
+    (b"Secret", b"Attack at dawn", "45a01f645fc35b383552544b9bf5"),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,expected_hex", VECTORS)
+def test_published_vectors(key, plaintext, expected_hex):
+    assert RC4(key).crypt(plaintext).hex() == expected_hex
+
+
+@pytest.mark.parametrize("key,plaintext,_", VECTORS)
+def test_decrypt_is_encrypt(key, plaintext, _):
+    ct = RC4(key).crypt(plaintext)
+    assert RC4(key).crypt(ct) == plaintext
+
+
+def test_ksa_is_a_permutation():
+    s = ksa(b"anything")
+    assert sorted(s) == list(range(256))
+
+
+def test_ksa_partial_prefix_agrees_with_full():
+    key = b"0123456789"
+    full = ksa(key)
+    # After all 256 rounds the partial equals the full schedule.
+    partial, _ = ksa_partial(key, 256)
+    assert partial == full
+
+
+def test_ksa_rejects_empty_key():
+    with pytest.raises(ValueError):
+        ksa(b"")
+
+
+def test_keystream_continuity():
+    """A stateful cipher's concatenated output equals one-shot output."""
+    a = RC4(b"streamkey")
+    chunked = a.keystream(10) + a.keystream(7) + a.keystream(3)
+    assert chunked == rc4_keystream(b"streamkey", 20)
+
+
+def test_crypt_interleaves_with_keystream():
+    a = RC4(b"k2")
+    b = RC4(b"k2")
+    assert a.crypt(b"\x00" * 16) == b.keystream(16)
+
+
+@given(st.binary(min_size=1, max_size=32), st.binary(max_size=256))
+def test_roundtrip_property(key, data):
+    assert RC4(key).crypt(RC4(key).crypt(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=16))
+def test_keystream_not_trivially_zero(key):
+    ks = rc4_keystream(key, 64)
+    assert ks != b"\x00" * 64
+
+
+def test_prga_generator_matches_class():
+    gen = prga(ksa(b"genkey"))
+    from_gen = bytes(next(gen) for _ in range(12))
+    assert from_gen == rc4_keystream(b"genkey", 12)

@@ -1,0 +1,108 @@
+"""Active containment (§6 future work): detect the rogue, knock its
+clients off, keep them off."""
+
+import pytest
+
+from repro.core.scenario import build_corp_scenario
+from repro.defense.containment import ContainmentSensor
+from repro.radio.propagation import Position
+
+
+def test_sensor_detects_and_contains_cloned_rogue():
+    scenario = build_corp_scenario(seed=301)
+    sensor = ContainmentSensor(
+        scenario.sim, scenario.medium, Position(15.0, 5.0),
+        authorized=[(scenario.ap.bssid, 1)])
+    sensor.start()
+    scenario.sim.run_for(15.0)
+    assert sensor.actions, "rogue never contained"
+    action = sensor.actions[0]
+    assert action.bssid == scenario.ap.bssid  # the clone
+    assert action.channel == 6
+    assert "cloned" in action.reason
+    assert sensor.deauths_injected > 0
+
+
+def test_containment_evicts_captured_victim():
+    scenario = build_corp_scenario(seed=302)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    assert victim.associated_channel == 6  # captured
+
+    sensor = ContainmentSensor(
+        scenario.sim, scenario.medium, Position(35.0, 5.0),
+        authorized=[(scenario.ap.bssid, 1)],
+        containment_rate_hz=10.0)
+    sensor.start()
+    evicted_at = None
+    for _ in range(60):
+        scenario.sim.run_for(1.0)
+        if victim.associated_channel == 1:
+            evicted_at = scenario.sim.now
+            break
+    assert evicted_at is not None, "victim never pushed back to the legit AP"
+    # And containment keeps it there.
+    scenario.sim.run_for(20.0)
+    assert victim.associated_channel == 1
+    sensor.stop()
+
+
+def test_sensor_quiet_on_clean_network():
+    scenario = build_corp_scenario(seed=303, with_rogue=False)
+    victim = scenario.add_victim()
+    sensor = ContainmentSensor(
+        scenario.sim, scenario.medium, Position(15.0, 5.0),
+        authorized=[(scenario.ap.bssid, 1)])
+    sensor.start()
+    scenario.sim.run_for(30.0)
+    assert sensor.actions == []
+    assert sensor.deauths_injected == 0
+    assert victim.wlan.associated  # and it didn't break anyone
+
+
+def test_sensor_stop_ceases_injection():
+    scenario = build_corp_scenario(seed=304)
+    sensor = ContainmentSensor(
+        scenario.sim, scenario.medium, Position(15.0, 5.0),
+        authorized=[(scenario.ap.bssid, 1)])
+    sensor.start()
+    scenario.sim.run_for(15.0)
+    assert sensor.deauths_injected > 0
+    sensor.stop()
+    count = sensor.deauths_injected
+    scenario.sim.run_for(10.0)
+    assert sensor.deauths_injected == count
+
+
+def test_containment_is_an_arms_race_note():
+    """The contained rogue can re-capture if the sensor stops — the
+    module's documented limitation, demonstrated."""
+    scenario = build_corp_scenario(seed=305)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    sensor = ContainmentSensor(
+        scenario.sim, scenario.medium, Position(35.0, 5.0),
+        authorized=[(scenario.ap.bssid, 1)], containment_rate_hz=10.0)
+    sensor.start()
+    for _ in range(60):
+        scenario.sim.run_for(1.0)
+        if victim.associated_channel == 1:
+            break
+    assert victim.associated_channel == 1
+    sensor.stop()
+    # The attacker escalates: its own deauth storm against the legit AP
+    # resumes, and with the sensor silent the rogue recaptures.
+    from repro.attacks.deauth import DeauthAttacker
+    attacker = DeauthAttacker(
+        scenario.sim, scenario.medium, Position(38.0, 2.0),
+        ap_bssid=scenario.ap.bssid, channel=1,
+        target=victim.wlan.mac, rate_hz=10.0)
+    attacker.start()
+    recaptured = False
+    for _ in range(120):
+        scenario.sim.run_for(1.0)
+        if victim.associated_channel == 6:
+            recaptured = True
+            break
+    attacker.stop()
+    assert recaptured

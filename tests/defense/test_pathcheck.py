@@ -1,0 +1,106 @@
+"""ICMP error generation and the first-hop rogue check."""
+
+import pytest
+
+from repro.core.scenario import build_corp_scenario
+from repro.defense.pathcheck import check_first_hop
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.icmp import IcmpType
+
+
+def test_ttl_expiry_generates_time_exceeded():
+    """A router answers TTL death with TIME_EXCEEDED from its own IP."""
+    scenario = build_corp_scenario(seed=331, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    errors = []
+    # TTL=1 to a WAN host: dies at the border router (10.0.0.1).
+    victim.ping("198.51.100.80", ttl=1,
+                on_error=lambda ip, t: errors.append((str(ip), t)))
+    scenario.sim.run_for(3.0)
+    assert errors == [("10.0.0.1", int(IcmpType.TIME_EXCEEDED))]
+
+
+def test_sufficient_ttl_reaches_destination():
+    scenario = build_corp_scenario(seed=332, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    rtts = []
+    victim.ping("198.51.100.80", on_reply=rtts.append, ttl=2)
+    scenario.sim.run_for(3.0)
+    assert len(rtts) == 1
+
+
+def test_traceroute_style_hop_discovery():
+    """Increasing TTL walks the path hop by hop."""
+    scenario = build_corp_scenario(seed=333)  # with the rogue in path
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    assert victim.associated_channel == 6
+    hops = []
+
+    def probe(ttl):
+        victim.ping("198.51.100.80", ttl=ttl,
+                    on_reply=lambda rtt: hops.append((ttl, "dest")),
+                    on_error=lambda ip, t: hops.append((ttl, str(ip))))
+
+    for ttl in (1, 2, 3):
+        probe(ttl)
+        scenario.sim.run_for(3.0)
+    # Hop 1: the rogue's wlan0 (10.0.0.24); hop 2: the corp gateway;
+    # hop 3: the destination itself.
+    assert hops[0] == (1, "10.0.0.24")
+    assert hops[1] == (2, "10.0.0.1")
+    assert hops[2] == (3, "dest")
+
+
+def test_first_hop_check_clean_network():
+    scenario = build_corp_scenario(seed=334, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    results = []
+    check_first_hop(victim, "10.0.0.1", results.append)
+    scenario.sim.run_for(5.0)
+    assert len(results) == 1
+    assert results[0].first_hop_is_gateway
+    assert not results[0].suspicious
+    assert "clean" in results[0].describe()
+
+
+def test_first_hop_check_exposes_rogue():
+    """The headline: a captured victim's TTL=1 probe names the rogue."""
+    scenario = build_corp_scenario(seed=335)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    assert victim.associated_channel == 6
+    results = []
+    check_first_hop(victim, "10.0.0.1", results.append)
+    scenario.sim.run_for(5.0)
+    assert len(results) == 1
+    result = results[0]
+    assert result.suspicious
+    assert result.interloper == IPv4Address("10.0.0.24")  # the rogue's wlan0
+    assert "ROGUE IN PATH" in result.describe()
+
+
+def test_first_hop_check_times_out_gracefully():
+    scenario = build_corp_scenario(seed=336, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    results = []
+    check_first_hop(victim, "10.0.0.99", results.append, timeout_s=2.0)  # nobody
+    scenario.sim.run_for(5.0)
+    assert len(results) == 1
+    assert results[0].timed_out
+    assert results[0].suspicious
+
+
+def test_no_route_forwarding_generates_unreachable():
+    scenario = build_corp_scenario(seed=337, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    errors = []
+    # The border router has no route for this prefix.
+    victim.ping("172.31.0.1", on_error=lambda ip, t: errors.append((str(ip), t)))
+    scenario.sim.run_for(3.0)
+    assert errors and errors[0][1] == int(IcmpType.DEST_UNREACHABLE)

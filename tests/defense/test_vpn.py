@@ -1,0 +1,180 @@
+"""The PPP-over-SSH VPN: handshake, auth, routing takeover, protection."""
+
+import pytest
+
+from repro.core.scenario import VPN_IP, build_corp_scenario
+from repro.crypto.keystore import KeyStore
+from repro.defense.vpn import SshRecordLayer, VpnClient, VpnServer
+from repro.netstack.addressing import IPv4Address, Network
+from repro.sim.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------
+# record layer
+# ----------------------------------------------------------------------
+
+def _layers():
+    a = SshRecordLayer(b"E" * 16, b"e" * 16, b"M" * 20, b"m" * 20)
+    b = SshRecordLayer(b"e" * 16, b"E" * 16, b"m" * 20, b"M" * 20)
+    return a, b
+
+
+def test_record_roundtrip():
+    a, b = _layers()
+    rec = a.seal(b"hello tunnel")
+    assert b.open(rec) == b"hello tunnel"
+
+
+def test_record_tamper_detected():
+    a, b = _layers()
+    rec = bytearray(a.seal(b"data"))
+    rec[6] ^= 0x01
+    assert b.open(bytes(rec)) is None
+    assert b.integrity_failures == 1
+
+
+def test_record_replay_rejected():
+    a, b = _layers()
+    r1 = a.seal(b"one")
+    assert b.open(r1) == b"one"
+    assert b.open(r1) is None
+    assert b.replays_dropped == 1
+
+
+def test_record_sequence_continuity():
+    a, b = _layers()
+    for i in range(20):
+        assert b.open(a.seal(f"msg{i}".encode())) == f"msg{i}".encode()
+
+
+# ----------------------------------------------------------------------
+# full client/server over the rogue-infested scenario
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def vpn_world():
+    scenario = build_corp_scenario(seed=71)
+    scenario.arm_download_mitm()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    assert victim.associated_channel == 6  # captured by the rogue
+    vpn = scenario.connect_vpn(victim)
+    scenario.sim.run_for(5.0)
+    return scenario, victim, vpn
+
+
+def test_vpn_connects_through_rogue(vpn_world):
+    scenario, victim, vpn = vpn_world
+    assert vpn.connected
+    assert scenario.vpn_server.active_sessions() == 1
+
+
+def test_vpn_takes_default_route(vpn_world):
+    """§5.2 requirement 4: all traffic through the tunnel."""
+    scenario, victim, vpn = vpn_world
+    default = victim.routing.lookup(IPv4Address("192.0.2.1"))
+    assert default.interface == "ppp0"
+    # The only exception: the encrypted transport to the server itself.
+    server_route = victim.routing.lookup(IPv4Address(VPN_IP))
+    assert server_route.interface == "wlan0"
+
+
+def test_vpn_defeats_download_mitm(vpn_world):
+    """Figure 3's punchline: same rogue, same netsed, clean download."""
+    scenario, victim, vpn = vpn_world
+    before = scenario.rogue.netsed.connections_proxied
+    outcome = scenario.run_download_experiment(victim, settle_s=90.0)
+    assert not outcome.failed
+    assert outcome.link == "file.tgz"            # page arrived unmodified
+    assert outcome.md5_ok is True
+    assert outcome.executed and not outcome.trojaned
+    assert not outcome.compromised
+    # The DNAT rule never fired: port-80 traffic was inside port-22.
+    assert scenario.rogue.netsed.connections_proxied == before
+
+
+def test_vpn_requires_preestablished_credential():
+    scenario = build_corp_scenario(seed=72, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    empty_ks = KeyStore()
+    client = VpnClient(victim, empty_ks, "vpn.corp.example", VPN_IP)
+    with pytest.raises(ConfigurationError):
+        client.connect()
+
+
+def test_vpn_rejects_untrusted_provenance():
+    scenario = build_corp_scenario(seed=73, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    ks = KeyStore()
+    ks.enroll("vpn.corp.example", b"secret", provenance="purchased-cert")
+    client = VpnClient(victim, ks, "vpn.corp.example", VPN_IP)
+    with pytest.raises(ConfigurationError):
+        client.connect()
+
+
+def test_server_rejects_wrong_client_secret():
+    scenario = build_corp_scenario(seed=74, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    ks = KeyStore()
+    ks.enroll("vpn.corp.example", b"WRONG SECRET")
+    client = VpnClient(victim, ks, "vpn.corp.example", VPN_IP)
+    client.connect()
+    scenario.sim.run_for(10.0)
+    assert not client.connected
+    # Either side may notice first: client sees a bad server tag, or
+    # the server rejects the client's auth tag.
+    assert (scenario.sim.trace.count("vpn.server_auth_failed") +
+            scenario.vpn_server.auth_failures) >= 1
+
+
+def test_server_rejects_unknown_client():
+    scenario = build_corp_scenario(seed=75, with_rogue=False)
+    victim = scenario.add_victim(name="stranger")
+    scenario.sim.run_for(5.0)
+    ks = KeyStore()
+    ks.enroll("vpn.corp.example", b"whatever")
+    client = VpnClient(victim, ks, "vpn.corp.example", VPN_IP)
+    client.connect()
+    scenario.sim.run_for(10.0)
+    assert not client.connected
+    assert scenario.vpn_server.auth_failures >= 1
+
+
+def test_vpn_disconnect_restores_routes():
+    scenario = build_corp_scenario(seed=76, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    vpn = scenario.connect_vpn(victim)
+    scenario.sim.run_for(5.0)
+    assert vpn.connected
+    vpn.disconnect()
+    scenario.sim.run_for(2.0)
+    default = victim.routing.lookup(IPv4Address("192.0.2.1"))
+    assert default is not None
+    assert default.interface == "wlan0"  # the original default is back
+
+
+def test_vpn_traffic_is_opaque_to_sniffer():
+    """Even a sniffer holding the WEP key sees only ciphertext."""
+    from repro.attacks.sniffer import MonitorSniffer
+    from repro.radio.propagation import Position
+    scenario = build_corp_scenario(seed=77)
+    sniffer = MonitorSniffer(scenario.sim, scenario.medium, Position(39.0, 2.0))
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    vpn = scenario.connect_vpn(victim)
+    scenario.sim.run_for(5.0)
+    from repro.httpsim.client import HttpClient
+    results = []
+    HttpClient(victim).get("http://198.51.100.80/download.html", results.append)
+    scenario.sim.run_for(60.0)
+    assert results and results[0] is not None
+    # Reassemble what the sniffer saw of the victim's TCP stream.
+    stream = sniffer.sniffed_tcp_stream(scenario.wep, victim.wlan.ip,
+                                        IPv4Address(VPN_IP), dst_port=22)
+    assert len(stream) > 0                         # it captured the flow
+    assert b"GET /download.html" not in stream     # but it's ciphertext
+    assert b"MD5SUM" not in stream

@@ -1,0 +1,72 @@
+"""VPN edge paths: malformed framing, oversized frames, session bookkeeping."""
+
+import struct
+
+import pytest
+
+from repro.core.scenario import VPN_IP, build_corp_scenario
+from repro.defense.vpn import _FrameBuffer, _frame
+from repro.sim.errors import ProtocolError
+
+
+def test_frame_buffer_reassembles_across_chunks():
+    buf = _FrameBuffer()
+    raw = _frame(5, b"payload-one") + _frame(4, b"two")
+    frames = []
+    for i in range(0, len(raw), 3):
+        frames.extend(buf.feed(raw[i:i + 3]))
+    assert frames == [(5, b"payload-one"), (4, b"two")]
+
+
+def test_frame_buffer_rejects_absurd_length():
+    buf = _FrameBuffer()
+    with pytest.raises(ProtocolError):
+        buf.feed(struct.pack(">I", 1 << 24) + b"x")
+
+
+def test_frame_buffer_rejects_zero_length():
+    buf = _FrameBuffer()
+    with pytest.raises(ProtocolError):
+        buf.feed(struct.pack(">I", 0))
+
+
+def test_server_session_count_tracks_connects_and_disconnects():
+    scenario = build_corp_scenario(seed=71, with_rogue=False)
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    assert scenario.vpn_server.active_sessions() == 0
+    vpn = scenario.connect_vpn(victim)
+    scenario.sim.run_for(5.0)
+    assert scenario.vpn_server.active_sessions() == 1
+    vpn.disconnect()
+    scenario.sim.run_for(5.0)
+    assert scenario.vpn_server.active_sessions() == 0
+
+
+def test_two_clients_one_server():
+    scenario = build_corp_scenario(seed=72, with_rogue=False)
+    from repro.core.scenario import VPN_SHARED_SECRET
+    scenario.vpn_server.keystore.enroll("victim2", VPN_SHARED_SECRET)
+    v1 = scenario.add_victim(ip="10.0.0.23", name="victim")
+    v2 = scenario.add_victim(ip="10.0.0.27", name="victim2",
+                             position=__import__("repro.radio.propagation",
+                                                 fromlist=["Position"]).Position(35.0, 3.0))
+    scenario.sim.run_for(5.0)
+    vpn1 = scenario.connect_vpn(v1)
+    from repro.crypto.keystore import KeyStore
+    from repro.core.scenario import VPN_SERVER_NAME
+    from repro.defense.vpn import VpnClient
+    ks2 = KeyStore()
+    ks2.enroll(VPN_SERVER_NAME, VPN_SHARED_SECRET)
+    vpn2 = VpnClient(v2, ks2, VPN_SERVER_NAME, VPN_IP)
+    vpn2.connect()
+    scenario.sim.run_for(8.0)
+    assert vpn1.connected and vpn2.connected
+    assert scenario.vpn_server.active_sessions() == 2
+    assert vpn1.tun.ip != vpn2.tun.ip  # distinct inner addresses
+    # Both move traffic concurrently.
+    r1, r2 = [], []
+    v1.ping("198.51.100.80", on_reply=r1.append)
+    v2.ping("198.51.100.80", on_reply=r2.append)
+    scenario.sim.run_for(5.0)
+    assert r1 and r2

@@ -1,0 +1,90 @@
+"""Channelization and sequence-control counters."""
+
+import pytest
+
+from repro.dot11.channels import (
+    CHANNELS_11B,
+    channel_center_mhz,
+    channel_rejection_db,
+    channels_overlap,
+)
+from repro.dot11.seqctl import SEQ_MODULO, SequenceCounter
+
+
+def test_channel_frequencies():
+    assert channel_center_mhz(1) == 2412
+    assert channel_center_mhz(6) == 2437
+    assert channel_center_mhz(11) == 2462
+    assert channel_center_mhz(14) == 2484
+
+
+def test_invalid_channel():
+    with pytest.raises(ValueError):
+        channel_center_mhz(0)
+    with pytest.raises(ValueError):
+        channel_center_mhz(15)
+
+
+def test_classic_nonoverlapping_plan():
+    """1/6/11 are the famous mutually clear channels."""
+    assert not channels_overlap(1, 6)
+    assert not channels_overlap(6, 11)
+    assert not channels_overlap(1, 11)
+
+
+def test_adjacent_channels_overlap():
+    assert channels_overlap(1, 1)
+    assert channels_overlap(1, 2)
+    assert channels_overlap(1, 4)
+    assert channels_overlap(1, 5)      # 20 MHz apart: marginal overlap
+    assert not channels_overlap(1, 6)  # exactly 25 MHz apart
+
+
+def test_rejection_monotone_in_separation():
+    assert channel_rejection_db(6, 6) == 0.0
+    r1 = channel_rejection_db(6, 7)
+    r2 = channel_rejection_db(6, 8)
+    r3 = channel_rejection_db(6, 9)
+    assert 0 < r1 < r2 < r3
+    assert channel_rejection_db(1, 6) == float("inf")
+
+
+def test_rejection_symmetric():
+    assert channel_rejection_db(3, 5) == channel_rejection_db(5, 3)
+
+
+def test_fig1_channel_plan_is_clean():
+    """The paper's rogue (ch 6) does not interfere with its own
+    upstream client on the legit AP's ch 1."""
+    assert not channels_overlap(1, 6)
+
+
+def test_channels_list():
+    assert CHANNELS_11B == tuple(range(1, 12))
+
+
+# ----------------------------------------------------------------------
+# sequence control
+# ----------------------------------------------------------------------
+
+def test_sequence_counter_increments_and_wraps():
+    c = SequenceCounter(start=4094)
+    assert c.next() == 4094
+    assert c.next() == 4095
+    assert c.next() == 0
+    assert c.peek() == 1
+
+
+def test_gap_semantics():
+    assert SequenceCounter.gap(10, 11) == 1
+    assert SequenceCounter.gap(10, 10) == 0
+    assert SequenceCounter.gap(4095, 0) == 1      # wrap is a small gap
+    assert SequenceCounter.gap(0, 4095) == 4095   # backward jump is huge
+    assert SequenceCounter.gap(100, 50) == SEQ_MODULO - 50
+
+
+def test_healthy_stream_gaps_are_one():
+    c = SequenceCounter(start=77)
+    seqs = [c.next() for _ in range(100)]
+    gaps = [SequenceCounter.gap(a, b) for a, b in zip(seqs, seqs[1:])]
+    assert all(g == 1 for g in gaps)

@@ -1,0 +1,180 @@
+"""Host IP path: ARP resolution, local delivery, forwarding, sockets."""
+
+import pytest
+
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.ethernet import Switch
+from repro.netstack.netfilter import Chain, Rule, TargetDrop
+from repro.sim.errors import NetworkError, SocketError
+from repro.sim.kernel import Simulator
+from tests.conftest import make_wired_host
+
+
+def test_ping_between_wired_hosts(wired_pair):
+    sim, a, b = wired_pair
+    rtts = []
+    a.ping("10.0.0.2", on_reply=rtts.append)
+    sim.run_for(2.0)
+    assert len(rtts) == 1
+    assert 0.0 < rtts[0] < 0.01
+
+
+def test_arp_resolution_populates_tables(wired_pair):
+    sim, a, b = wired_pair
+    a.ping("10.0.0.2")
+    sim.run_for(1.0)
+    assert a.arp_tables["eth0"].lookup(IPv4Address("10.0.0.2"), sim.now) == \
+        b.interfaces["eth0"].mac
+    # The peer learned us from our request.
+    assert b.arp_tables["eth0"].lookup(IPv4Address("10.0.0.1"), sim.now) == \
+        a.interfaces["eth0"].mac
+
+
+def test_arp_timeout_drops_queued_packets(wired_pair):
+    sim, a, _ = wired_pair
+    a.ping("10.0.0.99")  # nobody there
+    sim.run_for(5.0)
+    assert a.packets_dropped >= 1
+    assert sim.trace.count("arp.timeout") == 1
+
+
+def test_no_route_drop(wired_pair):
+    sim, a, _ = wired_pair
+    with pytest.raises(NetworkError):
+        a.ping("192.168.55.1")  # no default route
+
+
+def test_forwarding_requires_ip_forward():
+    sim = Simulator(seed=2)
+    lan1, lan2 = Switch(sim, "lan1"), Switch(sim, "lan2")
+    router = make_wired_host(sim, lan1, "router", "10.0.1.1")
+    # second interface
+    from repro.dot11.mac import MacAddress
+    from repro.hosts.nic import WiredInterface
+    iface2 = WiredInterface("eth1", MacAddress.random(sim.rng.substream("m2")))
+    iface2.attach_segment(lan2)
+    router.add_interface(iface2)
+    iface2.configure_ip("10.0.2.1")
+
+    a = make_wired_host(sim, lan1, "a", "10.0.1.5")
+    a.routing.add_default(IPv4Address("10.0.1.1"), "eth0")
+    b = make_wired_host(sim, lan2, "b", "10.0.2.5")
+    b.routing.add_default(IPv4Address("10.0.2.1"), "eth0")
+
+    rtts = []
+    a.ping("10.0.2.5", on_reply=rtts.append)
+    sim.run_for(3.0)
+    assert rtts == []  # router not forwarding yet
+
+    router.ip_forward = True
+    a.ping("10.0.2.5", on_reply=rtts.append)
+    sim.run_for(3.0)
+    assert len(rtts) == 1
+    assert router.packets_forwarded >= 2
+
+
+def test_input_chain_drop(wired_pair):
+    sim, a, b = wired_pair
+    b.netfilter.append(Chain.INPUT, Rule(target=TargetDrop(), proto="icmp"))
+    rtts = []
+    a.ping("10.0.0.2", on_reply=rtts.append)
+    sim.run_for(2.0)
+    assert rtts == []
+    assert b.packets_dropped >= 1
+
+
+def test_udp_socket_exchange(wired_pair):
+    sim, a, b = wired_pair
+    got = []
+    server = b.udp_socket(5000)
+    server.on_datagram = lambda p, ip, port: got.append((p, str(ip), port))
+    client = a.udp_socket()
+    client.sendto(b"hello udp", "10.0.0.2", 5000)
+    sim.run_for(1.0)
+    assert got and got[0][0] == b"hello udp"
+    assert got[0][1] == "10.0.0.1"
+
+
+def test_udp_port_conflict(wired_pair):
+    _, a, _ = wired_pair
+    a.udp_socket(6000)
+    with pytest.raises(SocketError):
+        a.udp_socket(6000)
+
+
+def test_udp_socket_close_unbinds(wired_pair):
+    sim, a, b = wired_pair
+    sock = b.udp_socket(6001)
+    sock.close()
+    b.udp_socket(6001)  # rebindable
+    with pytest.raises(SocketError):
+        sock.sendto(b"x", "10.0.0.1", 1)
+
+
+def test_tcp_connect_refused_when_no_listener(wired_pair):
+    sim, a, b = wired_pair
+    conn = a.tcp_connect("10.0.0.2", 8080)
+    resets = []
+    conn.on_reset = lambda: resets.append(1)
+    sim.run_for(2.0)
+    assert resets == [1]
+    assert conn.closed
+
+
+def test_tcp_listener_accepts_and_serves(wired_pair):
+    sim, a, b = wired_pair
+    echoes = []
+
+    def on_conn(conn):
+        conn.on_data = lambda d: conn.send(d.upper())
+
+    b.tcp_listen(7000, on_conn)
+    client = a.tcp_connect("10.0.0.2", 7000)
+    client.on_data = echoes.append
+    client.on_established = lambda: client.send(b"shout")
+    sim.run_for(3.0)
+    assert echoes == [b"SHOUT"]
+
+
+def test_tcp_listen_port_conflict(wired_pair):
+    _, _, b = wired_pair
+    b.tcp_listen(7001, lambda c: None)
+    with pytest.raises(SocketError):
+        b.tcp_listen(7001, lambda c: None)
+
+
+def test_reap_closed_connections(wired_pair):
+    sim, a, b = wired_pair
+    b.tcp_listen(7002, lambda c: c.close())
+    conn = a.tcp_connect("10.0.0.2", 7002)
+    conn.on_close = lambda: conn.close()
+    sim.run_for(10.0)
+    assert a.reap_closed_connections() >= 1
+
+
+def test_ephemeral_ports_unique(wired_pair):
+    _, a, _ = wired_pair
+    ports = {a.ephemeral_port() for _ in range(100)}
+    assert len(ports) == 100
+
+
+def test_capture_records_directions(wired_pair):
+    sim, a, b = wired_pair
+    cap = a.enable_capture()
+    a.ping("10.0.0.2")
+    sim.run_for(1.0)
+    assert cap.count(direction="out") >= 1
+    assert cap.count(direction="in") >= 1
+
+
+def test_broadcast_udp_requires_via_iface(wired_pair):
+    sim, a, b = wired_pair
+    sock = a.udp_socket()
+    with pytest.raises(NetworkError):
+        sock.sendto(b"x", "255.255.255.255", 9)
+    got = []
+    server = b.udp_socket(9)
+    server.on_datagram = lambda p, ip, port: got.append(p)
+    sock.sendto(b"bcast", "255.255.255.255", 9, via_iface="eth0")
+    sim.run_for(1.0)
+    assert got == [b"bcast"]

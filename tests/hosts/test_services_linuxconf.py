@@ -1,0 +1,165 @@
+"""DNS/DHCP services, resolver behaviour, and the LinuxBox front-end."""
+
+import pytest
+
+from repro.hosts.linuxconf import LinuxBox
+from repro.hosts.services import (
+    DhcpClientService,
+    DhcpServerService,
+    DnsResolver,
+    DnsServerService,
+    UdpEchoService,
+)
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.dhcp import LeasePool
+from repro.netstack.dns import DnsZone
+from repro.netstack.ethernet import Switch
+from repro.netstack.netfilter import Chain, TargetDnat
+from repro.sim.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from tests.conftest import make_wired_host
+
+
+def test_udp_echo_service(wired_pair):
+    sim, a, b = wired_pair
+    echo = UdpEchoService(b, port=7)
+    got = []
+    sock = a.udp_socket()
+    sock.on_datagram = lambda p, ip, port: got.append(p)
+    sock.sendto(b"marco", "10.0.0.2", 7)
+    sim.run_for(1.0)
+    assert got == [b"marco"]
+    assert echo.echoed == 1
+
+
+def test_dns_server_and_resolver(wired_pair):
+    sim, client_host, server_host = wired_pair
+    zone = DnsZone({"www.corp.example": "198.51.100.80"})
+    DnsServerService(server_host, zone)
+    resolver = DnsResolver(client_host, "10.0.0.2")
+    answers = []
+    resolver.resolve("www.corp.example", answers.append)
+    resolver.resolve("nonexistent.example", answers.append)
+    sim.run_for(15.0)
+    assert IPv4Address("198.51.100.80") in answers
+    assert None in answers
+
+
+def test_dns_resolver_caches(wired_pair):
+    sim, client_host, server_host = wired_pair
+    service = DnsServerService(server_host, DnsZone({"a.example": "1.1.1.1"}))
+    resolver = DnsResolver(client_host, "10.0.0.2")
+    answers = []
+    resolver.resolve("a.example", answers.append)
+    sim.run_for(2.0)
+    resolver.resolve("a.example", answers.append)
+    sim.run_for(2.0)
+    assert len(answers) == 2
+    assert service.queries == 1  # second answer came from cache
+
+
+def test_dns_server_answer_hook_lies(wired_pair):
+    sim, client_host, server_host = wired_pair
+    service = DnsServerService(server_host, DnsZone({"bank.example": "1.2.3.4"}))
+    service.answer_hook = lambda name, real: IPv4Address("6.6.6.6")
+    resolver = DnsResolver(client_host, "10.0.0.2")
+    answers = []
+    resolver.resolve("bank.example", answers.append)
+    sim.run_for(2.0)
+    assert answers == [IPv4Address("6.6.6.6")]
+
+
+def test_dhcp_full_exchange():
+    sim = Simulator(seed=4)
+    lan = Switch(sim, "lan")
+    server = make_wired_host(sim, lan, "dhcpd", "192.168.7.1")
+    DhcpServerService(server, "eth0", LeasePool(Network("192.168.7.0/24")),
+                      gateway="192.168.7.1", dns_server="192.168.7.1")
+    from repro.dot11.mac import MacAddress
+    from repro.hosts.host import Host
+    from repro.hosts.nic import WiredInterface
+    client = Host(sim, "laptop")
+    iface = WiredInterface("eth0", MacAddress.random(sim.rng.substream("m")))
+    iface.attach_segment(lan)
+    client.add_interface(iface)
+    leases = []
+    dhcp = DhcpClientService(client, "eth0", on_configured=leases.append)
+    dhcp.start()
+    sim.run_for(5.0)
+    assert dhcp.lease is not None
+    assert iface.ip is not None and iface.ip in Network("192.168.7.0/24")
+    assert client.routing.lookup(IPv4Address("8.8.8.8")).gateway == "192.168.7.1"
+    assert leases and leases[0].dns_server == "192.168.7.1"
+
+
+# ----------------------------------------------------------------------
+# LinuxBox
+# ----------------------------------------------------------------------
+
+def test_linuxbox_ip_forward(wired_pair):
+    _, a, _ = wired_pair
+    box = LinuxBox(a)
+    assert a.ip_forward is False
+    box.sh("echo 1 > /proc/sys/net/ipv4/ip_forward")
+    assert a.ip_forward is True
+    box.sh("echo 0 > /proc/sys/net/ipv4/ip_forward")
+    assert a.ip_forward is False
+
+
+def test_linuxbox_ifconfig_and_route(wired_pair):
+    _, a, _ = wired_pair
+    box = LinuxBox(a)
+    box.sh("ifconfig eth0 10.0.0.24 netmask 255.255.255.0")
+    assert a.interfaces["eth0"].ip == "10.0.0.24"
+    box.sh("route add -host 10.0.0.23 dev eth0")
+    box.sh("route add default gw 10.0.0.1")
+    assert a.routing.lookup(IPv4Address("10.0.0.23")).network.prefix_len == 32
+    assert a.routing.lookup(IPv4Address("8.8.8.8")).gateway == "10.0.0.1"
+
+
+def test_linuxbox_paper_iptables_command(wired_pair):
+    """The verbatim §4.1 command parses into the right rule."""
+    _, a, _ = wired_pair
+    box = LinuxBox(a)
+    box.sh("iptables -t nat -A PREROUTING -p tcp -d 198.51.100.80 "
+           "--dport 80 -j DNAT --to 10.0.0.24:10101")
+    rules = a.netfilter.chains[Chain.PREROUTING]
+    assert len(rules) == 1
+    rule = rules[0]
+    assert isinstance(rule.target, TargetDnat)
+    assert rule.target.to_ip == "10.0.0.24"
+    assert rule.target.to_port == 10101
+    assert rule.proto == "tcp" and rule.dport == 80
+    assert IPv4Address("198.51.100.80") in rule.dst
+
+
+def test_linuxbox_iptables_other_targets(wired_pair):
+    _, a, _ = wired_pair
+    box = LinuxBox(a)
+    box.sh("iptables -A FORWARD -p tcp --dport 23 -j DROP")
+    box.sh("iptables -A INPUT -j ACCEPT")
+    box.sh("iptables -t nat -A POSTROUTING -o eth0 -j SNAT --to 1.2.3.4")
+    box.sh("iptables -t nat -A PREROUTING -p tcp --dport 80 -j REDIRECT --to-port 3128")
+    assert len(a.netfilter.chains[Chain.FORWARD]) == 1
+    assert len(a.netfilter.chains[Chain.POSTROUTING]) == 1
+    assert len(a.netfilter.chains[Chain.PREROUTING]) == 1
+
+
+def test_linuxbox_rejects_unknown(wired_pair):
+    _, a, _ = wired_pair
+    box = LinuxBox(a)
+    with pytest.raises(ConfigurationError):
+        box.sh("rm -rf /")
+    with pytest.raises(ConfigurationError):
+        box.sh("route del default")
+    with pytest.raises(ConfigurationError):
+        box.sh("ifconfig nosuch 1.2.3.4")
+    with pytest.raises(ConfigurationError):
+        box.sh("iptables -A FORWARD -j MASQUERADE")
+
+
+def test_linuxbox_history(wired_pair):
+    _, a, _ = wired_pair
+    box = LinuxBox(a)
+    box.sh("echo 1 > /proc/sys/net/ipv4/ip_forward")
+    assert box.history == ["echo 1 > /proc/sys/net/ipv4/ip_forward"]

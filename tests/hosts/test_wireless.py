@@ -1,0 +1,195 @@
+"""Wireless host behaviour: scanning, association, WEP policy, AP bridge."""
+
+import pytest
+
+from repro.crypto.wep import WepKey
+from repro.dot11.frames import AuthAlgorithm
+from repro.dot11.mac import MacAddress
+from repro.hosts.access_point import AccessPoint
+from repro.hosts.ap_core import MacFilter
+from repro.hosts.nic import StaState, first_heard_policy
+from repro.hosts.station import Station
+from repro.netstack.ethernet import Switch
+from repro.radio.medium import Medium
+from repro.radio.propagation import Position
+from repro.sim.kernel import Simulator
+from tests.conftest import make_wired_host
+
+BSSID = MacAddress("aa:bb:cc:dd:00:01")
+WEP = WepKey.from_passphrase("SECRET")
+
+
+def build_bss(seed=1, *, wep=None, mac_filter=None, auth_algorithm=0, channel=1):
+    sim = Simulator(seed=seed)
+    medium = Medium(sim)
+    lan = Switch(sim, "lan")
+    ap = AccessPoint(sim, medium, "ap", bssid=BSSID, ssid="CORP",
+                     channel=channel, position=Position(0, 0), wep_key=wep,
+                     mac_filter=mac_filter, auth_algorithm=auth_algorithm)
+    ap.attach_uplink(lan)
+    server = make_wired_host(sim, lan, "server", "10.0.0.1")
+    return sim, medium, ap, lan, server
+
+
+def test_open_association_and_ping():
+    sim, medium, ap, lan, server = build_bss()
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", ip="10.0.0.23")
+    sim.run_for(4.0)
+    assert sta.wlan.associated
+    assert sta.associated_bssid == BSSID
+    rtts = []
+    sta.ping("10.0.0.1", on_reply=rtts.append)
+    sim.run_for(2.0)
+    assert len(rtts) == 1
+
+
+def test_wep_association_and_data():
+    sim, medium, ap, lan, server = build_bss(wep=WEP)
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", wep_key=WEP, ip="10.0.0.23")
+    sim.run_for(4.0)
+    assert sta.wlan.associated
+    rtts = []
+    sta.ping("10.0.0.1", on_reply=rtts.append)
+    sim.run_for(2.0)
+    assert len(rtts) == 1
+
+
+def test_client_without_key_does_not_join_privacy_network():
+    sim, medium, ap, lan, _ = build_bss(wep=WEP)
+    sta = Station(sim, "nokey", medium, Position(10, 0))
+    sta.connect("CORP", wep_key=None, ip="10.0.0.30")
+    sim.run_for(6.0)
+    # Privacy-capability mismatch: the scan filter never selects the BSS.
+    assert not sta.wlan.associated
+
+
+def test_wrong_wep_key_data_dropped_by_ap():
+    sim, medium, ap, lan, server = build_bss(wep=WEP)
+    sta = Station(sim, "wrongkey", medium, Position(10, 0))
+    sta.connect("CORP", wep_key=WepKey(b"WRONG"), ip="10.0.0.31")
+    sim.run_for(4.0)
+    assert sta.wlan.associated  # open-auth assoc succeeds...
+    rtts = []
+    sta.ping("10.0.0.1", on_reply=rtts.append)
+    sim.run_for(3.0)
+    assert rtts == []           # ...but data never decrypts
+    assert ap.core.wep_drop_count > 0
+
+
+def test_shared_key_auth_succeeds_with_key():
+    sim, medium, ap, lan, _ = build_bss(wep=WEP, auth_algorithm=AuthAlgorithm.SHARED_KEY)
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", wep_key=WEP, ip="10.0.0.23",
+                auth_algorithm=AuthAlgorithm.SHARED_KEY)
+    sim.run_for(5.0)
+    assert sta.wlan.associated
+
+
+def test_shared_key_auth_rejects_wrong_key():
+    sim, medium, ap, lan, _ = build_bss(wep=WEP, auth_algorithm=AuthAlgorithm.SHARED_KEY)
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", wep_key=WepKey(b"WRONG"), ip="10.0.0.23",
+                auth_algorithm=AuthAlgorithm.SHARED_KEY)
+    sim.run_for(5.0)
+    assert not sta.wlan.associated
+
+
+def test_mac_filter_blocks_unknown_station():
+    allowed = MacAddress("00:02:2d:00:00:aa")
+    sim, medium, ap, lan, _ = build_bss(mac_filter=MacFilter([allowed]))
+    sta = Station(sim, "blocked", medium, Position(10, 0))
+    sta.connect("CORP", ip="10.0.0.23")
+    sim.run_for(5.0)
+    assert not sta.wlan.associated
+    assert ap.core.mac_filter.denials > 0
+
+
+def test_mac_filter_admits_listed_station():
+    mac = MacAddress("00:02:2d:00:00:aa")
+    sim, medium, ap, lan, _ = build_bss(mac_filter=MacFilter([mac]))
+    sta = Station(sim, "ok", medium, Position(10, 0), mac=mac)
+    sta.connect("CORP", ip="10.0.0.23")
+    sim.run_for(5.0)
+    assert sta.wlan.associated
+
+
+def test_ap_deauth_kicks_client_and_client_rejoins():
+    sim, medium, ap, lan, _ = build_bss()
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", ip="10.0.0.23")
+    sim.run_for(4.0)
+    assert sta.wlan.associated
+    ap.core.deauth_client(sta.wlan.mac)
+    sim.run_for(0.2)
+    assert sta.wlan.deauths_received == 1
+    sim.run_for(10.0)
+    assert sta.wlan.associated  # auto-reconnect brought it back
+    assert sta.wlan.associations >= 2
+
+
+def test_leave_stays_idle():
+    sim, medium, ap, lan, _ = build_bss()
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", ip="10.0.0.23")
+    sim.run_for(4.0)
+    sta.wlan.leave()
+    sim.run_for(10.0)
+    assert sta.wlan.state is StaState.IDLE
+
+
+def test_strongest_rssi_policy_picks_nearest():
+    sim = Simulator(seed=9)
+    medium = Medium(sim)
+    lan = Switch(sim, "lan")
+    near = AccessPoint(sim, medium, "near", bssid=MacAddress("aa:00:00:00:00:01"),
+                       ssid="NET", channel=1, position=Position(5, 0))
+    far = AccessPoint(sim, medium, "far", bssid=MacAddress("aa:00:00:00:00:02"),
+                      ssid="NET", channel=11, position=Position(60, 0))
+    near.attach_uplink(lan)
+    far.attach_uplink(lan)
+    sta = Station(sim, "sta", medium, Position(0, 0))
+    sta.connect("NET", ip="10.0.0.5")
+    sim.run_for(5.0)
+    assert sta.associated_bssid == near.bssid
+
+
+def test_first_heard_policy_ablation():
+    sim = Simulator(seed=9)
+    medium = Medium(sim)
+    a = AccessPoint(sim, medium, "ch1", bssid=MacAddress("aa:00:00:00:00:01"),
+                    ssid="NET", channel=1, position=Position(50, 0))
+    b = AccessPoint(sim, medium, "ch11", bssid=MacAddress("aa:00:00:00:00:02"),
+                    ssid="NET", channel=11, position=Position(5, 0))
+    sta = Station(sim, "sta", medium, Position(0, 0))
+    sta.connect("NET", ip="10.0.0.5", policy=first_heard_policy)
+    sim.run_for(5.0)
+    # Channel 1 is scanned first, so the far ch-1 AP wins despite RSSI.
+    assert sta.associated_bssid == a.bssid
+
+
+def test_client_to_client_relay_through_ap():
+    sim, medium, ap, lan, _ = build_bss()
+    sta1 = Station(sim, "sta1", medium, Position(10, 0))
+    sta2 = Station(sim, "sta2", medium, Position(-10, 0))
+    sta1.connect("CORP", ip="10.0.0.41")
+    sta2.connect("CORP", ip="10.0.0.42")
+    sim.run_for(5.0)
+    rtts = []
+    sta1.ping("10.0.0.42", on_reply=rtts.append)
+    sim.run_for(3.0)
+    assert len(rtts) == 1
+    assert ap.core.data_relayed > 0
+
+
+def test_beacon_loss_triggers_rescan():
+    sim, medium, ap, lan, _ = build_bss()
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", ip="10.0.0.23")
+    sim.run_for(4.0)
+    assert sta.wlan.associated
+    ap.shutdown()
+    sim.run_for(5.0)
+    assert not sta.wlan.associated
+    assert sim.trace.count("dot11.beacon_loss") >= 1

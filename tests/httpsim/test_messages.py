@@ -1,0 +1,116 @@
+"""HTTP message serialization and the incremental stream parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.httpsim.messages import HttpRequest, HttpResponse, HttpStreamParser
+from repro.sim.errors import ProtocolError
+
+
+def test_request_roundtrip_head():
+    req = HttpRequest(method="GET", path="/download.html",
+                      headers={"Host": "example.com"})
+    raw = req.to_bytes()
+    head = raw.split(b"\r\n\r\n")[0]
+    parsed = HttpRequest.parse_head(head)
+    assert parsed.method == "GET"
+    assert parsed.path == "/download.html"
+    assert parsed.headers["Host"] == "example.com"
+
+
+def test_request_with_body_gets_content_length():
+    req = HttpRequest(method="POST", path="/submit", body=b"a=1")
+    raw = req.to_bytes()
+    assert b"Content-Length: 3" in raw
+    assert raw.endswith(b"a=1")
+
+
+def test_response_roundtrip():
+    resp = HttpResponse.ok(b"<html>hi</html>")
+    raw = resp.to_bytes()
+    assert raw.startswith(b"HTTP/1.0 200 OK\r\n")
+    assert b"Content-Length: 15" in raw
+    head = raw.split(b"\r\n\r\n")[0]
+    parsed = HttpResponse.parse_head(head)
+    assert parsed.status == 200
+    assert parsed.headers["Content-Type"] == "text/html"
+
+
+def test_close_delimited_response_omits_length():
+    resp = HttpResponse.ok(b"body", use_content_length=False)
+    assert b"Content-Length" not in resp.to_bytes()
+
+
+def test_not_found():
+    assert HttpResponse.not_found().status == 404
+
+
+def test_malformed_heads():
+    with pytest.raises(ProtocolError):
+        HttpRequest.parse_head(b"GARBAGE")
+    with pytest.raises(ProtocolError):
+        HttpResponse.parse_head(b"HTTP/1.0")
+    with pytest.raises(ProtocolError):
+        HttpResponse.parse_head(b"HTTP/1.0 abc OK")
+
+
+def test_parser_single_feed_request():
+    p = HttpStreamParser("request")
+    p.feed(HttpRequest(method="GET", path="/x").to_bytes())
+    assert p.complete
+    assert p.message.path == "/x"
+
+
+def test_parser_byte_by_byte():
+    raw = HttpRequest(method="POST", path="/p", body=b"hello").to_bytes()
+    p = HttpStreamParser("request")
+    for i in range(len(raw)):
+        assert not p.complete or i >= len(raw)
+        p.feed(raw[i:i + 1])
+    assert p.complete
+    assert p.message.body == b"hello"
+
+
+def test_parser_content_length_response():
+    resp = HttpResponse.ok(b"x" * 100)
+    p = HttpStreamParser("response")
+    raw = resp.to_bytes()
+    p.feed(raw[:50])
+    assert not p.complete
+    p.feed(raw[50:])
+    assert p.complete
+    assert p.message.body == b"x" * 100
+
+
+def test_parser_close_delimited_response():
+    resp = HttpResponse.ok(b"streamed body", use_content_length=False)
+    p = HttpStreamParser("response")
+    p.feed(resp.to_bytes())
+    assert not p.complete  # waiting for close
+    p.finish_on_close()
+    assert p.complete
+    assert p.message.body == b"streamed body"
+
+
+def test_parser_leftover():
+    raw = HttpRequest(method="GET", path="/a").to_bytes() + b"EXTRA"
+    p = HttpStreamParser("request")
+    p.feed(raw)
+    assert p.complete
+    assert p.leftover == b"EXTRA"
+
+
+def test_parser_invalid_kind():
+    with pytest.raises(ValueError):
+        HttpStreamParser("nonsense")
+
+
+@given(st.binary(max_size=300), st.integers(1, 50))
+def test_parser_chunking_invariance(body, chunk):
+    raw = HttpResponse.ok(body).to_bytes()
+    p = HttpStreamParser("response")
+    for i in range(0, len(raw), chunk):
+        p.feed(raw[i:i + chunk])
+    assert p.complete
+    assert p.message.body == body

@@ -1,0 +1,144 @@
+"""Ethernet framing, LLC/SNAP, hubs and switches."""
+
+import pytest
+
+from repro.dot11.mac import BROADCAST, MacAddress
+from repro.netstack.ethernet import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    Hub,
+    Switch,
+    WiredPort,
+    llc_decap,
+    llc_encap,
+)
+from repro.sim.errors import ConfigurationError, ProtocolError
+from repro.sim.kernel import Simulator
+
+A = MacAddress("00:00:00:00:00:0a")
+B = MacAddress("00:00:00:00:00:0b")
+E = MacAddress("00:00:00:00:00:0e")
+
+
+def test_llc_snap_first_byte_is_aa():
+    """The known plaintext the FMS attack depends on."""
+    body = llc_encap(ETHERTYPE_IPV4, b"ip packet")
+    assert body[0] == 0xAA
+    ethertype, payload = llc_decap(body)
+    assert ethertype == ETHERTYPE_IPV4
+    assert payload == b"ip packet"
+
+
+def test_llc_decap_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        llc_decap(b"\x00" * 10)
+    with pytest.raises(ProtocolError):
+        llc_decap(b"\xaa\xaa")
+
+
+def test_ethernet_frame_roundtrip():
+    f = EthernetFrame(dst=B, src=A, ethertype=ETHERTYPE_ARP, payload=b"arp data")
+    parsed = EthernetFrame.from_bytes(f.to_bytes())
+    assert parsed == f
+
+
+def test_ethernet_frame_too_short():
+    with pytest.raises(ProtocolError):
+        EthernetFrame.from_bytes(b"\x00" * 10)
+
+
+def _setup(sim, segment_cls):
+    segment = segment_cls(sim, "seg")
+    ports = {}
+    received = {}
+    for name, mac, promisc in (("a", A, False), ("b", B, False), ("e", E, True)):
+        port = WiredPort(name, mac, promiscuous=promisc)
+        received[name] = []
+        port.on_receive = received[name].append
+        segment.attach(port)
+        ports[name] = port
+    return segment, ports, received
+
+
+def test_hub_broadcasts_everything():
+    sim = Simulator(seed=0)
+    _, ports, received = _setup(sim, Hub)
+    ports["a"].transmit(EthernetFrame(dst=B, src=A, ethertype=0x0800, payload=b"x"))
+    sim.run()
+    assert len(received["b"]) == 1
+    assert len(received["e"]) == 1  # promiscuous eavesdropper sees unicast
+    assert len(received["a"]) == 0
+
+
+def test_hub_nonpromiscuous_filters_foreign_unicast():
+    sim = Simulator(seed=0)
+    _, ports, received = _setup(sim, Hub)
+    ports["a"].transmit(EthernetFrame(dst=E, src=A, ethertype=0x0800, payload=b"x"))
+    sim.run()
+    assert len(received["b"]) == 0  # b's NIC drops a frame not for it
+    assert len(received["e"]) == 1
+
+
+def test_switch_isolates_unicast_after_learning():
+    sim = Simulator(seed=0)
+    switch, ports, received = _setup(sim, Switch)
+    # Let the switch learn where B lives.
+    ports["b"].transmit(EthernetFrame(dst=BROADCAST, src=B, ethertype=0x0800, payload=b""))
+    sim.run()
+    ports["a"].transmit(EthernetFrame(dst=B, src=A, ethertype=0x0800, payload=b"secret"))
+    sim.run()
+    assert len(received["b"]) == 1  # b's own broadcast isn't echoed; it gets a's unicast
+    # The §1.1 claim: the promiscuous port saw the flood but NOT the
+    # learned unicast.
+    eavesdropped_payloads = [f.payload for f in received["e"]]
+    assert b"secret" not in eavesdropped_payloads
+
+
+def test_switch_floods_unknown_destination():
+    sim = Simulator(seed=0)
+    switch, ports, received = _setup(sim, Switch)
+    ports["a"].transmit(EthernetFrame(dst=B, src=A, ethertype=0x0800, payload=b"x"))
+    sim.run()
+    assert len(received["b"]) == 1  # flooded
+    assert switch.flooded_frames == 1
+
+
+def test_switch_broadcast_reaches_all():
+    sim = Simulator(seed=0)
+    _, ports, received = _setup(sim, Switch)
+    ports["a"].transmit(EthernetFrame(dst=BROADCAST, src=A, ethertype=0x0806, payload=b""))
+    sim.run()
+    assert len(received["b"]) == 1 and len(received["e"]) == 1
+
+
+def test_switch_mac_table():
+    sim = Simulator(seed=0)
+    switch, ports, _ = _setup(sim, Switch)
+    ports["a"].transmit(EthernetFrame(dst=BROADCAST, src=A, ethertype=0x0800, payload=b""))
+    sim.run()
+    assert switch.mac_table() == {A: "a"}
+
+
+def test_detached_port_cannot_transmit():
+    port = WiredPort("orphan", A)
+    with pytest.raises(ConfigurationError):
+        port.transmit(EthernetFrame(dst=B, src=A, ethertype=0x0800, payload=b""))
+
+
+def test_double_attach_rejected():
+    sim = Simulator(seed=0)
+    seg = Hub(sim, "h")
+    port = WiredPort("p", A)
+    seg.attach(port)
+    with pytest.raises(ConfigurationError):
+        seg.attach(port)
+
+
+def test_detach():
+    sim = Simulator(seed=0)
+    seg, ports, received = _setup(sim, Hub)
+    seg.detach(ports["b"])
+    ports["a"].transmit(EthernetFrame(dst=B, src=A, ethertype=0x0800, payload=b""))
+    sim.run()
+    assert received["b"] == []

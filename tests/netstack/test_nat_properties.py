@@ -1,0 +1,118 @@
+"""Property-based invariants of the NAT/conntrack machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.netstack.netfilter import (
+    Chain,
+    Netfilter,
+    Rule,
+    TargetDnat,
+    TargetSnat,
+)
+from repro.netstack.tcp import FLAG_ACK, TcpSegment
+from repro.netstack.udp import UdpDatagram
+
+ips = st.integers(min_value=0x0A000001, max_value=0x0AFFFFFE).map(IPv4Address)
+ports = st.integers(min_value=1, max_value=65535)
+
+
+def tcp_packet(src, sport, dst, dport, payload=b"", seq=0):
+    seg = TcpSegment(src_port=sport, dst_port=dport, seq=seq, ack=0,
+                     flags=FLAG_ACK, payload=payload)
+    return IPv4Packet(src=src, dst=dst, proto=PROTO_TCP,
+                      payload=seg.to_bytes(src, dst))
+
+
+def udp_packet(src, sport, dst, dport, payload=b"x"):
+    d = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    return IPv4Packet(src=src, dst=dst, proto=PROTO_UDP,
+                      payload=d.to_bytes(src, dst))
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=ips, sport=ports, dst=ips, dport=ports,
+       payload=st.binary(max_size=100))
+def test_dnat_then_reply_restores_original_tuple(src, sport, dst, dport, payload):
+    """DNAT forward + reply reverse translation composes to identity
+    from the client's point of view: the reply appears to come exactly
+    from where the client sent."""
+    nat_ip, nat_port = IPv4Address("10.99.0.1"), 10101
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(target=TargetDnat(nat_ip, nat_port),
+                                     proto="tcp", dport=dport,
+                                     dst=Network(str(dst), 32)))
+    fwd = tcp_packet(src, sport, dst, dport, payload)
+    _, translated, natted = nf.process(Chain.PREROUTING, fwd, 0.0)
+    assert natted
+    tseg = TcpSegment.from_bytes(translated.payload, translated.src, translated.dst)
+    assert translated.dst == nat_ip and tseg.dst_port == nat_port
+    assert translated.src == src and tseg.src_port == sport  # src untouched
+    assert tseg.payload == payload                           # payload untouched
+
+    reply = tcp_packet(nat_ip, nat_port, src, sport, b"resp")
+    _, untranslated, natted2 = nf.process(Chain.OUTPUT, reply, 1.0)
+    assert natted2
+    rseg = TcpSegment.from_bytes(untranslated.payload, untranslated.src,
+                                 untranslated.dst)
+    assert untranslated.src == dst and rseg.src_port == dport
+    assert untranslated.dst == src and rseg.dst_port == sport
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=ips, sport=ports, dst=ips, dport=ports)
+def test_snat_is_sticky_and_reversible(src, sport, dst, dport):
+    """Every packet of a flow gets the same SNAT port, and the reply
+    maps back to the original endpoint."""
+    nat_ip = IPv4Address("203.0.113.1")
+    nf = Netfilter()
+    nf.append(Chain.POSTROUTING, Rule(target=TargetSnat(nat_ip)))
+    outs = []
+    for seq in range(3):
+        pkt = udp_packet(src, sport, dst, dport, payload=bytes([seq]))
+        _, translated, _ = nf.process(Chain.POSTROUTING, pkt, float(seq))
+        d = UdpDatagram.from_bytes(translated.payload, translated.src,
+                                   translated.dst, verify_checksum=False)
+        outs.append((translated.src, d.src_port))
+    assert len(set(outs)) == 1          # sticky
+    assert outs[0][0] == nat_ip
+    nat_port = outs[0][1]
+    reply = udp_packet(dst, dport, nat_ip, nat_port)
+    _, back, _ = nf.process(Chain.PREROUTING, reply, 5.0)
+    d = UdpDatagram.from_bytes(back.payload, back.src, back.dst,
+                               verify_checksum=False)
+    assert back.dst == src and d.dst_port == sport
+
+
+@settings(max_examples=40, deadline=None)
+@given(src=ips, sport=ports, dst=ips, dport=ports,
+       payload=st.binary(max_size=200))
+def test_nat_rewrites_keep_checksums_valid(src, sport, dst, dport, payload):
+    """Every NAT rewrite re-serializes with a checksum the destination
+    stack will accept (parse with verification enabled)."""
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(IPv4Address("10.99.0.2"), 8080), proto="tcp"))
+    pkt = tcp_packet(src, sport, dst, dport, payload)
+    _, out, _ = nf.process(Chain.PREROUTING, pkt, 0.0)
+    # Raises on checksum failure:
+    TcpSegment.from_bytes(out.payload, out.src, out.dst, verify_checksum=True)
+    IPv4Packet.from_bytes(out.to_bytes())
+
+
+@settings(max_examples=40, deadline=None)
+@given(src=ips, sport=ports, other_sport=ports)
+def test_distinct_flows_get_distinct_snat_ports(src, sport, other_sport):
+    if sport == other_sport:
+        other_sport = (other_sport % 65535) + 1
+    dst = IPv4Address("10.0.9.9")
+    nat_ip = IPv4Address("203.0.113.1")
+    nf = Netfilter()
+    nf.append(Chain.POSTROUTING, Rule(target=TargetSnat(nat_ip)))
+    _, a, _ = nf.process(Chain.POSTROUTING, udp_packet(src, sport, dst, 53), 0.0)
+    _, b, _ = nf.process(Chain.POSTROUTING, udp_packet(src, other_sport, dst, 53), 0.0)
+    pa = UdpDatagram.from_bytes(a.payload, a.src, a.dst, verify_checksum=False)
+    pb = UdpDatagram.from_bytes(b.payload, b.src, b.dst, verify_checksum=False)
+    assert pa.src_port != pb.src_port

@@ -1,0 +1,193 @@
+"""Netfilter: rule matching, DNAT/SNAT/REDIRECT, conntrack symmetry."""
+
+import pytest
+
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
+from repro.netstack.netfilter import (
+    Chain,
+    Netfilter,
+    Rule,
+    TargetAccept,
+    TargetDnat,
+    TargetDrop,
+    TargetRedirect,
+    TargetSnat,
+    Verdict,
+)
+from repro.netstack.tcp import FLAG_SYN, TcpSegment
+from repro.netstack.udp import UdpDatagram
+from repro.sim.errors import ConfigurationError
+
+VICTIM = IPv4Address("10.0.0.23")
+TARGET = IPv4Address("198.51.100.80")
+GATEWAY = IPv4Address("10.0.0.24")
+
+
+def tcp_packet(src, sport, dst, dport, payload=b"", flags=FLAG_SYN, seq=1):
+    seg = TcpSegment(src_port=sport, dst_port=dport, seq=seq, ack=0,
+                     flags=flags, payload=payload)
+    return IPv4Packet(src=src, dst=dst, proto=PROTO_TCP,
+                      payload=seg.to_bytes(src, dst))
+
+
+def udp_packet(src, sport, dst, dport, payload=b"x"):
+    d = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    return IPv4Packet(src=src, dst=dst, proto=PROTO_UDP,
+                      payload=d.to_bytes(src, dst))
+
+
+def test_default_policy_accepts():
+    nf = Netfilter()
+    verdict, pkt, natted = nf.process(Chain.INPUT, tcp_packet(VICTIM, 1, TARGET, 80), 0.0)
+    assert verdict is Verdict.ACCEPT and not natted
+
+
+def test_drop_rule():
+    nf = Netfilter()
+    nf.append(Chain.FORWARD, Rule(target=TargetDrop(), proto="tcp", dport=23))
+    verdict, _, _ = nf.process(Chain.FORWARD, tcp_packet(VICTIM, 1, TARGET, 23), 0.0)
+    assert verdict is Verdict.DROP
+    verdict, _, _ = nf.process(Chain.FORWARD, tcp_packet(VICTIM, 1, TARGET, 80), 0.0)
+    assert verdict is Verdict.ACCEPT
+    assert nf.dropped == 1
+
+
+def test_accept_rule_short_circuits():
+    nf = Netfilter()
+    nf.append(Chain.FORWARD, Rule(target=TargetAccept(), proto="tcp"))
+    nf.append(Chain.FORWARD, Rule(target=TargetDrop()))
+    verdict, _, _ = nf.process(Chain.FORWARD, tcp_packet(VICTIM, 1, TARGET, 80), 0.0)
+    assert verdict is Verdict.ACCEPT
+
+
+def test_match_criteria():
+    rule = Rule(target=TargetDrop(), proto="tcp", src=Network("10.0.0.0/24"),
+                dst=Network(str(TARGET), 32), dport=80, in_iface="wlan0")
+    pkt = tcp_packet(VICTIM, 5555, TARGET, 80)
+    assert rule.matches(pkt, in_iface="wlan0", out_iface=None)
+    assert not rule.matches(pkt, in_iface="eth1", out_iface=None)
+    assert not rule.matches(tcp_packet(VICTIM, 5555, TARGET, 443),
+                            in_iface="wlan0", out_iface=None)
+    assert not rule.matches(udp_packet(VICTIM, 5555, TARGET, 80),
+                            in_iface="wlan0", out_iface=None)
+
+
+def test_icmp_has_no_ports():
+    rule = Rule(target=TargetDrop(), dport=80)
+    pkt = IPv4Packet(src=VICTIM, dst=TARGET, proto=PROTO_ICMP, payload=b"\x08\x00")
+    assert not rule.matches(pkt, in_iface=None, out_iface=None)
+
+
+def test_paper_dnat_rule_and_reply_unnat():
+    """The §4.1 DNAT: victim->Target:80 becomes victim->gateway:10101,
+    and the reply is source-rewritten back to Target:80."""
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(GATEWAY, 10101), proto="tcp",
+        dst=Network(str(TARGET), 32), dport=80))
+    fwd = tcp_packet(VICTIM, 4321, TARGET, 80)
+    verdict, translated, natted = nf.process(Chain.PREROUTING, fwd, 0.0)
+    assert natted
+    assert translated.dst == GATEWAY
+    seg = TcpSegment.from_bytes(translated.payload, translated.src, translated.dst)
+    assert seg.dst_port == 10101  # checksum valid for new addresses
+
+    # Reply direction: netsed's response from gateway:10101 to the victim.
+    reply = tcp_packet(GATEWAY, 10101, VICTIM, 4321)
+    verdict, untranslated, natted = nf.process(Chain.OUTPUT, reply, 1.0)
+    assert natted
+    assert untranslated.src == TARGET
+    seg = TcpSegment.from_bytes(untranslated.payload, untranslated.src, untranslated.dst)
+    assert seg.src_port == 80
+
+
+def test_established_flow_bypasses_rules():
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(GATEWAY, 10101), proto="tcp",
+        dst=Network(str(TARGET), 32), dport=80))
+    first = tcp_packet(VICTIM, 4321, TARGET, 80)
+    nf.process(Chain.PREROUTING, first, 0.0)
+    nf.flush(Chain.PREROUTING)  # rules gone, conntrack remains
+    second = tcp_packet(VICTIM, 4321, TARGET, 80, seq=2)
+    _, translated, natted = nf.process(Chain.PREROUTING, second, 1.0)
+    assert natted and translated.dst == GATEWAY
+
+
+def test_nat_false_skips_translation():
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(GATEWAY, 10101), proto="tcp", dport=80))
+    pkt = tcp_packet(VICTIM, 1, TARGET, 80)
+    _, out, natted = nf.process(Chain.PREROUTING, pkt, 0.0, nat=False)
+    assert not natted and out.dst == TARGET
+
+
+def test_snat_allocates_ports_and_reverses():
+    nf = Netfilter()
+    nat_ip = IPv4Address("203.0.113.7")
+    nf.append(Chain.POSTROUTING, Rule(target=TargetSnat(nat_ip), out_iface="eth0"))
+    out1 = tcp_packet(VICTIM, 4000, TARGET, 80)
+    _, t1, _ = nf.process(Chain.POSTROUTING, out1, 0.0, out_iface="eth0")
+    assert t1.src == nat_ip
+    seg1 = TcpSegment.from_bytes(t1.payload, t1.src, t1.dst)
+    # Second flow gets a different NAT port.
+    out2 = tcp_packet(IPv4Address("10.0.0.24"), 4000, TARGET, 80)
+    _, t2, _ = nf.process(Chain.POSTROUTING, out2, 0.0, out_iface="eth0")
+    seg2 = TcpSegment.from_bytes(t2.payload, t2.src, t2.dst)
+    assert seg1.src_port != seg2.src_port
+    # Reply to flow 1 maps back to the victim.
+    reply = tcp_packet(TARGET, 80, nat_ip, seg1.src_port)
+    _, back, _ = nf.process(Chain.PREROUTING, reply, 1.0)
+    assert back.dst == VICTIM
+    back_seg = TcpSegment.from_bytes(back.payload, back.src, back.dst)
+    assert back_seg.dst_port == 4000
+
+
+def test_redirect_needs_local_ip():
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(target=TargetRedirect(8080), proto="tcp", dport=80))
+    with pytest.raises(ConfigurationError):
+        nf.process(Chain.PREROUTING, tcp_packet(VICTIM, 1, TARGET, 80), 0.0)
+    _, out, _ = nf.process(Chain.PREROUTING, tcp_packet(VICTIM, 2, TARGET, 80),
+                           0.0, local_ip=GATEWAY)
+    assert out.dst == GATEWAY
+
+
+def test_chain_restrictions():
+    nf = Netfilter()
+    with pytest.raises(ConfigurationError):
+        nf.append(Chain.FORWARD, Rule(target=TargetSnat(GATEWAY)))
+    with pytest.raises(ConfigurationError):
+        nf.append(Chain.POSTROUTING, Rule(target=TargetDnat(GATEWAY)))
+
+
+def test_udp_dnat():
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(GATEWAY, 5353), proto="udp", dport=53))
+    _, out, _ = nf.process(Chain.PREROUTING, udp_packet(VICTIM, 9000, TARGET, 53), 0.0)
+    d = UdpDatagram.from_bytes(out.payload, out.src, out.dst)
+    assert out.dst == GATEWAY and d.dst_port == 5353
+
+
+def test_conntrack_expiry():
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(GATEWAY, 10101), proto="tcp", dport=80))
+    nf.process(Chain.PREROUTING, tcp_packet(VICTIM, 4321, TARGET, 80), 0.0)
+    nf.flush()
+    # After TTL, the flow is forgotten and no longer translated.
+    late = tcp_packet(VICTIM, 4321, TARGET, 80, seq=9)
+    _, out, natted = nf.process(Chain.PREROUTING, late, 1000.0)
+    assert not natted and out.dst == TARGET
+
+
+def test_list_rules_renders():
+    nf = Netfilter()
+    nf.append(Chain.PREROUTING, Rule(
+        target=TargetDnat(GATEWAY, 10101), proto="tcp",
+        dst=Network(str(TARGET), 32), dport=80))
+    listing = nf.list_rules()
+    assert "PREROUTING" in listing and "DNAT" in listing and "10101" in listing

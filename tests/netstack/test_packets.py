@@ -1,0 +1,181 @@
+"""ARP, IPv4, ICMP, UDP packet formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dot11.mac import MacAddress
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.arp import ArpOp, ArpPacket, ArpTable
+from repro.netstack.icmp import IcmpMessage, IcmpType
+from repro.netstack.ipv4 import PROTO_TCP, PROTO_UDP, IPv4Packet, internet_checksum
+from repro.netstack.udp import UdpDatagram
+from repro.sim.errors import ProtocolError
+
+MAC_A = MacAddress("00:00:00:00:00:0a")
+MAC_B = MacAddress("00:00:00:00:00:0b")
+IP_A = IPv4Address("10.0.0.1")
+IP_B = IPv4Address("10.0.0.2")
+
+
+# ----------------------------------------------------------------------
+# ARP
+# ----------------------------------------------------------------------
+
+def test_arp_request_reply_roundtrip():
+    req = ArpPacket.request(MAC_A, IP_A, IP_B)
+    parsed = ArpPacket.from_bytes(req.to_bytes())
+    assert parsed == req
+    assert parsed.op is ArpOp.REQUEST
+    reply = ArpPacket.reply(MAC_B, IP_B, MAC_A, IP_A)
+    assert ArpPacket.from_bytes(reply.to_bytes()).op is ArpOp.REPLY
+
+
+def test_arp_malformed():
+    with pytest.raises(ProtocolError):
+        ArpPacket.from_bytes(b"\x00" * 10)
+    raw = bytearray(ArpPacket.request(MAC_A, IP_A, IP_B).to_bytes())
+    raw[7] = 9  # unknown op
+    with pytest.raises(ProtocolError):
+        ArpPacket.from_bytes(bytes(raw))
+
+
+def test_arp_table_learn_lookup_expire():
+    table = ArpTable(ttl_s=10.0)
+    table.learn(IP_A, MAC_A, now=0.0)
+    assert table.lookup(IP_A, now=5.0) == MAC_A
+    assert table.lookup(IP_A, now=10.0) is None  # expired
+    assert table.lookup(IP_B, now=0.0) is None
+
+
+def test_arp_table_overwrite_is_unconditional():
+    """The property ARP poisoning exploits."""
+    table = ArpTable()
+    table.learn(IP_A, MAC_A, now=0.0)
+    table.learn(IP_A, MAC_B, now=1.0)  # attacker's unsolicited reply
+    assert table.lookup(IP_A, now=2.0) == MAC_B
+
+
+def test_arp_table_entries_prunes():
+    table = ArpTable(ttl_s=1.0)
+    table.learn(IP_A, MAC_A, now=0.0)
+    table.learn(IP_B, MAC_B, now=5.0)
+    live = table.entries(now=5.5)
+    assert live == {IP_B: MAC_B}
+
+
+# ----------------------------------------------------------------------
+# IPv4
+# ----------------------------------------------------------------------
+
+def test_ipv4_roundtrip_and_checksum():
+    pkt = IPv4Packet(src=IP_A, dst=IP_B, proto=PROTO_UDP, payload=b"data",
+                     ttl=17, ident=99, tos=4)
+    raw = pkt.to_bytes()
+    assert internet_checksum(raw[:20]) == 0  # valid header checksum
+    parsed = IPv4Packet.from_bytes(raw)
+    assert parsed == pkt
+
+
+def test_ipv4_corrupted_header_rejected():
+    raw = bytearray(IPv4Packet(src=IP_A, dst=IP_B, proto=6, payload=b"x").to_bytes())
+    raw[15] ^= 0x01  # flip a src-address bit
+    with pytest.raises(ProtocolError):
+        IPv4Packet.from_bytes(bytes(raw))
+
+
+def test_ipv4_ttl_decrement_and_expiry():
+    pkt = IPv4Packet(src=IP_A, dst=IP_B, proto=6, payload=b"", ttl=2)
+    assert pkt.decremented().ttl == 1
+    with pytest.raises(ProtocolError):
+        pkt.decremented().decremented()
+
+
+def test_ipv4_nat_helpers():
+    pkt = IPv4Packet(src=IP_A, dst=IP_B, proto=6, payload=b"x")
+    assert pkt.with_dst(IPv4Address("1.1.1.1")).dst == "1.1.1.1"
+    assert pkt.with_src(IPv4Address("2.2.2.2")).src == "2.2.2.2"
+    assert pkt.with_payload(b"yy").payload == b"yy"
+
+
+def test_ipv4_too_short():
+    with pytest.raises(ProtocolError):
+        IPv4Packet.from_bytes(b"\x45" + b"\x00" * 10)
+
+
+@given(st.binary(max_size=500), st.integers(1, 255))
+def test_ipv4_roundtrip_property(payload, ttl):
+    pkt = IPv4Packet(src=IP_A, dst=IP_B, proto=PROTO_TCP, payload=payload, ttl=ttl)
+    assert IPv4Packet.from_bytes(pkt.to_bytes()) == pkt
+
+
+def test_internet_checksum_odd_length():
+    assert internet_checksum(b"\x01\x02\x03") == internet_checksum(b"\x01\x02\x03\x00")
+
+
+# ----------------------------------------------------------------------
+# ICMP
+# ----------------------------------------------------------------------
+
+def test_icmp_echo_roundtrip():
+    req = IcmpMessage.echo_request(ident=7, seq=3, payload=b"ping!")
+    parsed = IcmpMessage.from_bytes(req.to_bytes())
+    assert parsed.icmp_type == IcmpType.ECHO_REQUEST
+    assert parsed.echo_ident == 7 and parsed.echo_seq == 3
+    assert parsed.payload == b"ping!"
+    reply = IcmpMessage.echo_reply_to(parsed)
+    assert reply.icmp_type == IcmpType.ECHO_REPLY
+    assert reply.rest == parsed.rest
+
+
+def test_icmp_checksum_detects_corruption():
+    raw = bytearray(IcmpMessage.echo_request(1, 1).to_bytes())
+    raw[-1] ^= 0xFF
+    with pytest.raises(ProtocolError):
+        IcmpMessage.from_bytes(bytes(raw))
+
+
+def test_icmp_error_messages_quote_original():
+    original = IPv4Packet(src=IP_A, dst=IP_B, proto=6, payload=b"x" * 40).to_bytes()
+    te = IcmpMessage.time_exceeded(original)
+    assert te.icmp_type == IcmpType.TIME_EXCEEDED
+    assert len(te.payload) == 28
+    un = IcmpMessage.unreachable(original, code=3)
+    assert un.code == 3
+
+
+# ----------------------------------------------------------------------
+# UDP
+# ----------------------------------------------------------------------
+
+def test_udp_roundtrip_with_checksum():
+    d = UdpDatagram(src_port=1234, dst_port=53, payload=b"query")
+    raw = d.to_bytes(IP_A, IP_B)
+    parsed = UdpDatagram.from_bytes(raw, IP_A, IP_B)
+    assert parsed == d
+
+
+def test_udp_checksum_binds_addresses():
+    """The pseudo-header makes a datagram invalid if IPs are altered
+    without recomputation (why NAT must rewrite transport checksums)."""
+    raw = UdpDatagram(1, 2, b"x").to_bytes(IP_A, IP_B)
+    with pytest.raises(ProtocolError):
+        UdpDatagram.from_bytes(raw, IP_A, IPv4Address("9.9.9.9"))
+
+
+def test_udp_corruption_detected():
+    raw = bytearray(UdpDatagram(1, 2, b"payload").to_bytes(IP_A, IP_B))
+    raw[-2] ^= 0x10
+    with pytest.raises(ProtocolError):
+        UdpDatagram.from_bytes(bytes(raw), IP_A, IP_B)
+
+
+def test_udp_too_short():
+    with pytest.raises(ProtocolError):
+        UdpDatagram.from_bytes(b"\x00" * 4, IP_A, IP_B)
+
+
+@given(st.binary(max_size=1000), st.integers(0, 65535), st.integers(0, 65535))
+def test_udp_roundtrip_property(payload, sport, dport):
+    d = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    assert UdpDatagram.from_bytes(d.to_bytes(IP_A, IP_B), IP_A, IP_B) == d

@@ -1,0 +1,57 @@
+"""Longest-prefix routing, including Appendix A's exact route set."""
+
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.routing import Route, RoutingTable
+
+
+def test_longest_prefix_wins():
+    rt = RoutingTable()
+    rt.add_default(IPv4Address("10.0.0.1"), "eth0")
+    rt.add_connected(Network("10.0.0.0/24"), "eth0")
+    rt.add_host(IPv4Address("10.0.0.23"), "wlan0")
+    assert rt.lookup(IPv4Address("10.0.0.23")).interface == "wlan0"
+    assert rt.lookup(IPv4Address("10.0.0.99")).interface == "eth0"
+    assert rt.lookup(IPv4Address("10.0.0.99")).gateway is None  # connected
+    ext = rt.lookup(IPv4Address("8.8.8.8"))
+    assert ext.gateway == IPv4Address("10.0.0.1")
+
+
+def test_no_route_returns_none():
+    rt = RoutingTable()
+    rt.add_connected(Network("10.0.0.0/24"), "eth0")
+    assert rt.lookup(IPv4Address("192.168.1.1")) is None
+
+
+def test_metric_breaks_equal_prefix_ties():
+    rt = RoutingTable()
+    rt.add(Route(network=Network("10.0.0.0/24"), interface="slow", metric=10))
+    rt.add(Route(network=Network("10.0.0.0/24"), interface="fast", metric=1))
+    assert rt.lookup(IPv4Address("10.0.0.5")).interface == "fast"
+
+
+def test_remove():
+    rt = RoutingTable()
+    rt.add_default(IPv4Address("10.0.0.1"), "eth0")
+    assert rt.remove(Network("0.0.0.0", 0)) is True
+    assert rt.lookup(IPv4Address("8.8.8.8")) is None
+    assert rt.remove(Network("0.0.0.0", 0)) is False
+
+
+def test_appendix_a_route_set():
+    """The exact routes the paper's bridge script installs."""
+    rt = RoutingTable()
+    rt.add_host(IPv4Address("10.0.0.23"), "wlan0")   # the victim
+    rt.add_host(IPv4Address("10.0.0.1"), "eth1")     # the gateway
+    rt.add_default(IPv4Address("10.0.0.1"), "eth1")
+    # Victim traffic exits the AP side; everything else goes upstream.
+    assert rt.lookup(IPv4Address("10.0.0.23")).interface == "wlan0"
+    assert rt.lookup(IPv4Address("10.0.0.1")).interface == "eth1"
+    assert rt.lookup(IPv4Address("198.51.100.80")).interface == "eth1"
+
+
+def test_str_and_len():
+    rt = RoutingTable()
+    assert "empty" in str(rt)
+    rt.add_default(IPv4Address("1.1.1.1"), "e0")
+    assert len(rt) == 1
+    assert "via 1.1.1.1" in str(rt)

@@ -1,0 +1,75 @@
+"""Property test: RoutingTable lookup == brute-force longest-prefix-match."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack.addressing import IPv4Address, Network
+from repro.netstack.routing import Route, RoutingTable
+
+
+routes_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),  # network address
+        st.integers(min_value=0, max_value=32),          # prefix
+        st.integers(min_value=0, max_value=3),           # metric
+    ),
+    min_size=0, max_size=12,
+)
+
+
+def brute_force_lookup(routes: list[Route], dst: IPv4Address):
+    best = None
+    for route in routes:
+        if dst in route.network:
+            if best is None:
+                best = route
+            elif route.network.prefix_len > best.network.prefix_len:
+                best = route
+            elif (route.network.prefix_len == best.network.prefix_len
+                  and route.metric < best.metric):
+                best = route
+    return best
+
+
+@settings(max_examples=150, deadline=None)
+@given(specs=routes_strategy, dst=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_lookup_matches_brute_force(specs, dst):
+    table = RoutingTable()
+    routes = []
+    for i, (addr, prefix, metric) in enumerate(specs):
+        route = Route(network=Network(str(IPv4Address(addr)), prefix),
+                      interface=f"if{i}", metric=metric)
+        routes.append(route)
+        table.add(route)
+    dst_ip = IPv4Address(dst)
+    expected = brute_force_lookup(routes, dst_ip)
+    actual = table.lookup(dst_ip)
+    if expected is None:
+        assert actual is None
+    else:
+        assert actual is not None
+        assert actual.network.prefix_len == expected.network.prefix_len
+        assert actual.metric == expected.metric
+        assert dst_ip in actual.network
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs=routes_strategy)
+def test_remove_then_lookup_consistent(specs):
+    table = RoutingTable()
+    for i, (addr, prefix, metric) in enumerate(specs):
+        table.add(Route(network=Network(str(IPv4Address(addr)), prefix),
+                        interface=f"if{i}", metric=metric))
+    if not specs:
+        return
+    addr, prefix, _ = specs[0]
+    net = Network(str(IPv4Address(addr)), prefix)
+    table.remove(net)
+    # Whatever remains still satisfies the brute-force invariant.
+    remaining = table.routes()
+    probe = IPv4Address(addr)
+    expected = brute_force_lookup(remaining, probe)
+    actual = table.lookup(probe)
+    assert (actual is None) == (expected is None)
+    if actual is not None:
+        assert actual.network.prefix_len == expected.network.prefix_len

@@ -1,0 +1,296 @@
+"""TCP: segment format, handshake, transfer, loss recovery, teardown.
+
+The harness wires two TcpConnection objects through a configurable
+pipe (delay + deterministic loss), bypassing IP — host-level TCP
+integration is covered in tests/hosts/.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.tcp import (
+    FLAG_ACK,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpConnection,
+    TcpSegment,
+    TcpState,
+    seq_add,
+    seq_lt,
+)
+from repro.sim.kernel import Simulator
+
+IP_A = IPv4Address("10.0.0.1")
+IP_B = IPv4Address("10.0.0.2")
+
+
+class Pipe:
+    """Bidirectional segment pipe with delay and scripted loss."""
+
+    def __init__(self, sim, delay=0.01, loss_rate=0.0, seed=99):
+        self.sim = sim
+        self.delay = delay
+        self.loss_rate = loss_rate
+        self.rng = sim.rng.substream(f"pipe.{seed}")
+        self.a = None  # set after construction
+        self.b = None
+        self.dropped = 0
+
+    def a_to_b(self, segment):
+        self._relay(segment, lambda s: self.b.handle_segment(s))
+
+    def b_to_a(self, segment):
+        self._relay(segment, lambda s: self.a.handle_segment(s))
+
+    def _relay(self, segment, deliver):
+        if self.loss_rate and self.rng.bernoulli(self.loss_rate):
+            self.dropped += 1
+            return
+        self.sim.schedule(self.delay, deliver, segment)
+
+
+def make_pair(sim, *, loss_rate=0.0, mss=100):
+    pipe = Pipe(sim, loss_rate=loss_rate)
+    a = TcpConnection(sim, IP_A, 1000, IP_B, 2000, pipe.a_to_b, mss=mss)
+    b = TcpConnection(sim, IP_B, 2000, IP_A, 1000, pipe.b_to_a, mss=mss)
+    pipe.a, pipe.b = a, b
+
+    # Wire the passive side to accept the SYN when it arrives.
+    original = b.handle_segment
+
+    def accepting(segment):
+        if b.state is TcpState.CLOSED and segment.flags & FLAG_SYN \
+                and not segment.flags & FLAG_ACK:
+            b.accept_syn(segment)
+        else:
+            original(segment)
+
+    b.handle_segment = accepting
+    return a, b, pipe
+
+
+# ----------------------------------------------------------------------
+# segment format
+# ----------------------------------------------------------------------
+
+def test_segment_roundtrip():
+    seg = TcpSegment(src_port=80, dst_port=1234, seq=100, ack=200,
+                     flags=FLAG_ACK, window=5000, payload=b"hello")
+    parsed = TcpSegment.from_bytes(seg.to_bytes(IP_A, IP_B), IP_A, IP_B)
+    assert parsed == seg
+
+
+def test_segment_checksum_detects_corruption():
+    raw = bytearray(TcpSegment(1, 2, 0, 0, FLAG_SYN).to_bytes(IP_A, IP_B))
+    raw[4] ^= 0x01
+    with pytest.raises(Exception):
+        TcpSegment.from_bytes(bytes(raw), IP_A, IP_B)
+
+
+def test_flag_names():
+    assert TcpSegment(1, 2, 0, 0, FLAG_SYN | FLAG_ACK).flag_names() == "SYN|ACK"
+
+
+def test_seq_arithmetic_wraps():
+    assert seq_add(0xFFFFFFFF, 1) == 0
+    assert seq_lt(0xFFFFFFFF, 5)       # wrapped forward
+    assert not seq_lt(5, 0xFFFFFFFF)
+    assert seq_lt(100, 200)
+
+
+# ----------------------------------------------------------------------
+# connection behaviour
+# ----------------------------------------------------------------------
+
+def test_three_way_handshake():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    established = []
+    a.on_established = lambda: established.append("a")
+    b.on_established = lambda: established.append("b")
+    a.connect()
+    sim.run_for(1.0)
+    assert a.state is TcpState.ESTABLISHED
+    assert b.state is TcpState.ESTABLISHED
+    assert set(established) == {"a", "b"}
+
+
+def test_data_transfer_in_order():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    got = bytearray()
+    b.on_data = got.extend
+    a.connect()
+    a.send(b"hello ")
+    a.send(b"world")
+    sim.run_for(2.0)
+    assert bytes(got) == b"hello world"
+
+
+def test_large_transfer_segmented():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim, mss=100)
+    got = bytearray()
+    b.on_data = got.extend
+    blob = bytes(range(256)) * 40  # 10240 bytes
+    a.connect()
+    a.send(blob)
+    sim.run_for(30.0)
+    assert bytes(got) == blob
+    assert b.segments_received > 10  # actually segmented
+
+
+def test_send_before_establishment_is_queued():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    got = bytearray()
+    b.on_data = got.extend
+    a.connect()
+    a.send(b"early")  # still SYN_SENT
+    sim.run_for(2.0)
+    assert bytes(got) == b"early"
+
+
+def test_bidirectional_transfer():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    got_a, got_b = bytearray(), bytearray()
+    a.on_data = got_a.extend
+    b.on_data = got_b.extend
+    a.connect()
+    a.send(b"ping")
+    b.on_established = lambda: b.send(b"pong")
+    sim.run_for(2.0)
+    assert bytes(got_b) == b"ping" and bytes(got_a) == b"pong"
+
+
+def test_transfer_under_loss_is_reliable():
+    sim = Simulator(seed=3)
+    a, b, pipe = make_pair(sim, loss_rate=0.15, mss=200)
+    got = bytearray()
+    b.on_data = got.extend
+    blob = b"\x5a" * 20000
+    a.connect()
+    a.send(blob)
+    sim.run_for(300.0)
+    assert bytes(got) == blob
+    assert pipe.dropped > 0                 # loss actually happened
+    assert a.retransmissions > 0            # and TCP recovered
+
+
+def test_loss_triggers_congestion_response():
+    sim = Simulator(seed=5)
+    a, b, _ = make_pair(sim, loss_rate=0.25, mss=200)
+    b.on_data = lambda d: None
+    a.connect()
+    a.send(b"x" * 30000)
+    sim.run_for(120.0)
+    assert a.timeouts + a.fast_retransmits > 0
+    assert a.ssthresh < 64 * 1024  # came down from the initial value
+
+
+def test_graceful_close_both_sides():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    closed = []
+    b.on_close = lambda: (closed.append("b"), b.close())
+    a.connect()
+    a.send(b"bye")
+    b.on_data = lambda d: None
+    a.close()
+    sim.run_for(10.0)
+    assert "b" in closed
+    assert a.state in (TcpState.TIME_WAIT, TcpState.CLOSED)
+    assert b.state is TcpState.CLOSED
+
+
+def test_close_flushes_pending_data():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim, mss=100)
+    got = bytearray()
+    b.on_data = got.extend
+    a.connect()
+    a.send(b"q" * 500)
+    a.close()  # close with data still queued
+    sim.run_for(10.0)
+    assert len(got) == 500
+
+
+def test_send_after_close_raises():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    a.connect()
+    sim.run_for(1.0)
+    a.close()
+    with pytest.raises(Exception):
+        a.send(b"late")
+
+
+def test_abort_sends_rst():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    reset = []
+    b.on_reset = lambda: reset.append(1)
+    a.connect()
+    sim.run_for(1.0)
+    a.abort()
+    sim.run_for(1.0)
+    assert a.closed
+    assert reset == [1]
+    assert b.closed
+
+
+def test_read_pull_interface():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)
+    a.connect()
+    a.send(b"buffered data")
+    sim.run_for(2.0)
+    assert b.read(8) == b"buffered"
+    assert b.read() == b"buffered data"[8:]
+    assert b.read() == b""
+
+
+def test_rtt_estimation_converges():
+    sim = Simulator(seed=1)
+    a, b, _ = make_pair(sim)  # pipe delay 0.01 -> RTT 0.02
+    b.on_data = lambda d: None
+    a.connect()
+    for _ in range(20):
+        a.send(b"probe" * 10)
+        sim.run_for(0.5)
+    assert a.srtt is not None
+    assert 0.01 < a.srtt < 0.08
+
+
+def test_syn_retransmission_on_lost_syn():
+    sim = Simulator(seed=1)
+    pipe = Pipe(sim)
+    a = TcpConnection(sim, IP_A, 1000, IP_B, 2000, lambda s: None)  # blackhole
+    a.connect()
+    sim.run_for(5.0)
+    assert a.retransmissions >= 2
+    assert a.state is TcpState.SYN_SENT
+
+
+def test_gives_up_after_repeated_timeouts():
+    sim = Simulator(seed=1)
+    a = TcpConnection(sim, IP_A, 1000, IP_B, 2000, lambda s: None)
+    a.connect()
+    sim.run_for(4000.0)
+    assert a.closed
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.binary(min_size=1, max_size=5000), st.sampled_from([50, 200, 1460]))
+def test_any_payload_delivered_exactly(blob, mss):
+    sim = Simulator(seed=7)
+    a, b, _ = make_pair(sim, mss=mss)
+    got = bytearray()
+    b.on_data = got.extend
+    a.connect()
+    a.send(blob)
+    sim.run_for(60.0)
+    assert bytes(got) == blob

@@ -1,0 +1,165 @@
+"""TCP edge cases: reordering, duplication, windows, simultaneous close."""
+
+import pytest
+
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.tcp import FLAG_ACK, FLAG_SYN, TcpConnection, TcpState
+from repro.sim.kernel import Simulator
+
+IP_A = IPv4Address("10.0.0.1")
+IP_B = IPv4Address("10.0.0.2")
+
+
+class ReorderingPipe:
+    """Pipe that randomly delays segments, causing reordering."""
+
+    def __init__(self, sim, *, jitter_s=0.02, seed=5):
+        self.sim = sim
+        self.rng = sim.rng.substream(f"reorder.{seed}")
+        self.jitter_s = jitter_s
+        self.a = None
+        self.b = None
+
+    def a_to_b(self, segment):
+        delay = 0.005 + self.rng.uniform(0, self.jitter_s)
+        self.sim.schedule(delay, lambda: self.b.handle_segment(segment))
+
+    def b_to_a(self, segment):
+        delay = 0.005 + self.rng.uniform(0, self.jitter_s)
+        self.sim.schedule(delay, lambda: self.a.handle_segment(segment))
+
+
+class DuplicatingPipe:
+    """Pipe that delivers every data segment twice."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.a = None
+        self.b = None
+
+    def a_to_b(self, segment):
+        self.sim.schedule(0.005, lambda: self.b.handle_segment(segment))
+        if segment.payload:
+            self.sim.schedule(0.006, lambda: self.b.handle_segment(segment))
+
+    def b_to_a(self, segment):
+        self.sim.schedule(0.005, lambda: self.a.handle_segment(segment))
+
+
+def make_pair(sim, pipe, mss=100):
+    a = TcpConnection(sim, IP_A, 1000, IP_B, 2000, pipe.a_to_b, mss=mss)
+    b = TcpConnection(sim, IP_B, 2000, IP_A, 1000, pipe.b_to_a, mss=mss)
+    pipe.a, pipe.b = a, b
+    original = b.handle_segment
+
+    def accepting(segment):
+        if b.state is TcpState.CLOSED and segment.flags & FLAG_SYN \
+                and not segment.flags & FLAG_ACK:
+            b.accept_syn(segment)
+        else:
+            original(segment)
+
+    b.handle_segment = accepting
+    return a, b
+
+
+def test_reordered_segments_reassemble_in_order():
+    sim = Simulator(seed=11)
+    a, b = make_pair(sim, ReorderingPipe(sim), mss=50)
+    got = bytearray()
+    b.on_data = got.extend
+    blob = bytes(range(256)) * 20  # 5120 bytes in ~102 segments
+    a.connect()
+    a.send(blob)
+    sim.run_for(120.0)
+    assert bytes(got) == blob
+
+
+def test_duplicated_segments_delivered_once():
+    sim = Simulator(seed=12)
+    a, b = make_pair(sim, DuplicatingPipe(sim), mss=100)
+    got = bytearray()
+    b.on_data = got.extend
+    blob = b"exactly-once" * 100
+    a.connect()
+    a.send(blob)
+    sim.run_for(30.0)
+    assert bytes(got) == blob  # no duplicate bytes delivered to the app
+
+
+def test_peer_window_limits_flight():
+    """The sender never has more unacked bytes than the advertised window."""
+    sim = Simulator(seed=13)
+
+    class Spy:
+        def __init__(self):
+            self.max_flight = 0
+            self.a = None
+            self.b = None
+
+        def a_to_b(self, segment):
+            self.max_flight = max(self.max_flight, self.a.flight_size)
+            sim.schedule(0.005, lambda: self.b.handle_segment(segment))
+
+        def b_to_a(self, segment):
+            # Shrink the advertised window.
+            from dataclasses import replace
+            segment = replace(segment, window=500)
+            sim.schedule(0.005, lambda: self.a.handle_segment(segment))
+
+    pipe = Spy()
+    a, b = make_pair(sim, pipe, mss=100)
+    b.on_data = lambda d: None
+    a.connect()
+    a.send(b"z" * 20000)
+    sim.run_for(60.0)
+    # Window 500 + one MSS of slack for the in-flight segment being cut.
+    assert pipe.max_flight <= 600
+
+
+def test_simultaneous_close():
+    sim = Simulator(seed=14)
+
+    class Pipe:
+        def __init__(self):
+            self.a = None
+            self.b = None
+
+        def a_to_b(self, segment):
+            sim.schedule(0.005, lambda: self.b.handle_segment(segment))
+
+        def b_to_a(self, segment):
+            sim.schedule(0.005, lambda: self.a.handle_segment(segment))
+
+    pipe = Pipe()
+    a, b = make_pair(sim, pipe)
+    a.connect()
+    sim.run_for(1.0)
+    assert a.established and b.established
+    a.close()
+    b.close()
+    sim.run_for(10.0)
+    assert a.state in (TcpState.CLOSED, TcpState.TIME_WAIT)
+    assert b.state in (TcpState.CLOSED, TcpState.TIME_WAIT)
+
+
+def test_zero_length_send_is_noop():
+    sim = Simulator(seed=15)
+
+    class Pipe:
+        a = b = None
+
+        def a_to_b(self, segment):
+            sim.schedule(0.005, lambda: self.b.handle_segment(segment))
+
+        def b_to_a(self, segment):
+            sim.schedule(0.005, lambda: self.a.handle_segment(segment))
+
+    pipe = Pipe()
+    a, b = make_pair(sim, pipe)
+    a.connect()
+    sim.run_for(1.0)
+    sent_before = a.segments_sent
+    a.send(b"")
+    sim.run_for(1.0)
+    assert a.segments_sent == sent_before

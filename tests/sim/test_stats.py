@@ -1,0 +1,99 @@
+"""Statistics accumulators."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Histogram, RateMeter, TimeSeries, Welford, summarize
+
+
+def test_counter_incr_and_report():
+    c = Counter()
+    c.incr("frames")
+    c.incr("frames", 4)
+    c.incr("drops")
+    assert c.get("frames") == 5
+    assert c.get("missing") == 0
+    assert "frames" in c.report()
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=200))
+def test_welford_matches_two_pass(xs):
+    w = Welford()
+    w.extend(xs)
+    mean = sum(xs) / len(xs)
+    var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+    assert w.n == len(xs)
+    assert math.isclose(w.mean, mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(w.variance, var, rel_tol=1e-6, abs_tol=1e-5)
+    assert w.min == min(xs)
+    assert w.max == max(xs)
+
+
+def test_welford_empty_is_nan():
+    assert math.isnan(Welford().mean)
+
+
+def test_histogram_binning_and_overflow():
+    h = Histogram(0.0, 10.0, 10)
+    for x in [0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 25.0]:
+        h.add(x)
+    assert h.counts[0] == 1
+    assert h.counts[1] == 2
+    assert h.counts[9] == 1
+    assert h.underflow == 1
+    assert h.overflow == 2
+    assert h.total == 7
+
+
+def test_histogram_quantile_monotone():
+    h = Histogram(0.0, 100.0, 100)
+    for x in range(100):
+        h.add(float(x))
+    assert h.quantile(0.1) < h.quantile(0.5) < h.quantile(0.9)
+
+
+def test_histogram_invalid_bounds():
+    with pytest.raises(ValueError):
+        Histogram(1.0, 1.0, 5)
+
+
+def test_timeseries_ordering_enforced():
+    ts = TimeSeries()
+    ts.add(1.0, 5.0)
+    ts.add(2.0, 7.0)
+    with pytest.raises(ValueError):
+        ts.add(1.5, 0.0)
+    assert len(ts) == 2
+    assert ts.mean() == 6.0
+
+
+def test_timeseries_window():
+    ts = TimeSeries()
+    for t in range(10):
+        ts.add(float(t), float(t * 10))
+    win = ts.window(2.0, 5.0)
+    assert win.times == [2.0, 3.0, 4.0]
+
+
+def test_rate_meter():
+    rm = RateMeter()
+    assert rm.rate() == 0.0
+    rm.mark(0.0)
+    rm.mark(1.0)
+    rm.mark(2.0)
+    assert rm.rate() == pytest.approx(1.5)  # 3 events over 2 seconds
+
+
+def test_summarize_small_sample():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s["n"] == 4
+    assert s["mean"] == 2.5
+    assert s["median"] == 2.5
+    assert s["min"] == 1.0 and s["max"] == 4.0
+
+
+def test_summarize_empty():
+    assert summarize([])["n"] == 0

@@ -1,0 +1,78 @@
+"""Trace: emission, filtering, listeners, capacity."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+
+def test_emit_records_time_from_bound_clock():
+    sim = Simulator(seed=0)
+    sim.schedule(2.5, sim.trace.emit, "test.cat", "src", value=1)
+    sim.run()
+    rec = sim.trace.last("test.cat")
+    assert rec is not None
+    assert rec.time == 2.5
+    assert rec.detail == {"value": 1}
+
+
+def test_select_by_category_prefix():
+    t = Trace()
+    t.emit("dot11.assoc", "a")
+    t.emit("dot11.deauth", "b")
+    t.emit("vpn.connected", "c")
+    assert t.count("dot11") == 2
+    assert t.count("dot11.assoc") == 1
+    assert t.count("vpn") == 1
+    assert t.count() == 3
+
+
+def test_select_by_source_and_detail():
+    t = Trace()
+    t.emit("x", "host1", code=1)
+    t.emit("x", "host2", code=2)
+    t.emit("x", "host1", code=2)
+    assert t.count("x", source="host1") == 2
+    assert t.count("x", code=2) == 2
+    assert t.count("x", source="host1", code=2) == 1
+
+
+def test_select_since():
+    sim = Simulator(seed=0)
+    sim.schedule(1.0, sim.trace.emit, "a", "s")
+    sim.schedule(5.0, sim.trace.emit, "a", "s")
+    sim.run()
+    assert sim.trace.count("a", since=2.0) == 1
+
+
+def test_subscribe_and_unsubscribe():
+    t = Trace()
+    seen = []
+    unsub = t.subscribe("dot11", seen.append)
+    t.emit("dot11.assoc", "a")
+    t.emit("vpn.up", "b")
+    assert len(seen) == 1
+    unsub()
+    t.emit("dot11.assoc", "a")
+    assert len(seen) == 1
+
+
+def test_capacity_drops_oldest():
+    t = Trace(capacity=10)
+    for i in range(25):
+        t.emit("c", "s", i=i)
+    assert len(t.records) <= 11
+    # the newest records survive
+    assert t.records[-1].detail["i"] == 24
+
+
+def test_disabled_trace_is_silent():
+    t = Trace()
+    t.enabled = False
+    assert t.emit("c", "s") is None
+    assert t.count() == 0
+
+
+def test_dump_is_readable():
+    t = Trace()
+    t.emit("cat.sub", "host", k="v")
+    out = t.dump()
+    assert "cat.sub" in out and "host" in out and "k='v'" in out
