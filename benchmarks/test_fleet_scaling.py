@@ -1,0 +1,66 @@
+"""Fleet engine scaling: serial vs parallel campaign throughput.
+
+Engineering telemetry for :mod:`repro.fleet`, not paper reproduction.
+One CPU-bound trial (an RC4 keystream grind seeded per-trial) is swept
+serially and with 4 workers; the table records trials/second for each
+configuration plus the achieved speedup, and the test asserts the
+determinism contract (aggregates bit-identical across worker counts).
+
+The >=2x speedup assertion only applies when the machine actually has
+>=4 usable cores — on smaller boxes (CI runners, containers pinned to
+one CPU) the numbers are recorded but process-level parallelism cannot
+beat the hardware, so only the determinism half is enforced.
+
+    pytest benchmarks/test_fleet_scaling.py --benchmark-only -s
+"""
+
+import os
+
+from conftest import print_rows, run_once
+
+from repro.crypto.rc4 import rc4_keystream
+from repro.fleet import run_campaign
+
+TRIALS = 32
+WORKERS = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def cpu_bound_trial(seed: int) -> float:
+    """A trial dominated by pure-Python compute, deterministic per seed."""
+    key = seed.to_bytes(8, "big") + b"fleet-scaling"
+    stream = rc4_keystream(key, 120_000)  # ~tens of ms: dwarfs fork/IPC costs
+    return float(sum(stream) % 1009)
+
+
+def test_fleet_scaling_throughput(benchmark):
+    serial = run_campaign(TRIALS, cpu_bound_trial, workers=1)
+    parallel = run_once(benchmark, run_campaign, TRIALS, cpu_bound_trial,
+                        workers=WORKERS)
+
+    # Determinism is non-negotiable regardless of core count.
+    assert serial.failures == [] and parallel.failures == []
+    assert serial.stats.values == parallel.stats.values  # bit-for-bit
+
+    speedup = (parallel.throughput / serial.throughput
+               if serial.throughput else float("nan"))
+    cores = _usable_cores()
+    print_rows(
+        f"Fleet scaling: {TRIALS} CPU-bound trials ({cores} usable core(s))",
+        [
+            {"workers": 1, "elapsed_s": round(serial.elapsed_s, 3),
+             "trials_per_s": round(serial.throughput, 1), "speedup": 1.0},
+            {"workers": WORKERS, "elapsed_s": round(parallel.elapsed_s, 3),
+             "trials_per_s": round(parallel.throughput, 1),
+             "speedup": round(speedup, 2)},
+        ])
+    if cores >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x throughput at {WORKERS} workers on {cores} "
+            f"cores, measured {speedup:.2f}x")

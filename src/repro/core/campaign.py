@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import Callable, Optional, TypeVar
 
 __all__ = ["TrialStats", "run_trials"]
 
@@ -25,6 +25,16 @@ class TrialStats:
 
     def add(self, value: float) -> None:
         self.values.append(float(value))
+
+    def merge(self, other: "TrialStats") -> "TrialStats":
+        """Append another aggregate's samples to this one (returns self).
+
+        Merging shard aggregates in seed order reproduces the serial
+        ``values`` list exactly, which is what lets
+        :mod:`repro.fleet` promise bit-for-bit parallel == serial.
+        """
+        self.values.extend(other.values)
+        return self
 
     @property
     def n(self) -> int:
@@ -57,13 +67,34 @@ class TrialStats:
 
 
 def run_trials(n: int, trial: Callable[[int], float],
-               *, seed_base: int = 1000) -> TrialStats:
+               *, seed_base: int = 1000, workers: int = 1,
+               timeout: Optional[float] = None) -> TrialStats:
     """Run ``trial(seed)`` for ``n`` distinct seeds and aggregate.
 
     Each trial builds its own simulator from its seed, so trials are
     independent and individually reproducible.
+
+    ``workers=1`` (the default) is the serial fast path: the plain loop
+    below, no multiprocessing machinery, exceptions propagate as they
+    always have.  ``workers>1`` shards the sweep across processes via
+    :mod:`repro.fleet`; results are reduced in seed order, so the
+    returned aggregate is bit-for-bit identical to the serial one.  In
+    that mode a trial that keeps failing (after one retry) raises
+    :class:`repro.fleet.CampaignError` — use
+    :func:`repro.fleet.run_campaign` directly when partial results plus
+    recorded failures are wanted instead.
     """
-    stats = TrialStats()
-    for i in range(n):
-        stats.add(trial(seed_base + i))
+    if workers <= 1 and timeout is None:
+        stats = TrialStats()
+        for i in range(n):
+            stats.add(trial(seed_base + i))
+        return stats
+    from repro.fleet import CampaignError, run_campaign
+
+    result = run_campaign(n, trial, seed_base=seed_base, workers=workers,
+                          timeout=timeout)
+    if result.failures:
+        raise CampaignError(result.failures)
+    stats = result.stats
+    assert stats is not None  # numeric by contract of this API
     return stats

@@ -6,13 +6,15 @@ itself and how to print its result tables.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core import experiments as E
 from repro.core.report import format_table
 
-__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment", "render_result"]
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "SeededExperiment",
+           "get_experiment", "render_result", "spec_accepts_seed"]
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,33 @@ def get_experiment(exp_id: str) -> ExperimentSpec:
             return spec
     known = ", ".join(s.exp_id for s in EXPERIMENTS)
     raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+
+
+def spec_accepts_seed(spec: ExperimentSpec) -> bool:
+    """True when the experiment's runner takes a ``seed`` parameter.
+
+    Runners that instead take ``trials=...`` (they loop seeds
+    internally) still sweep, but every seed reproduces the same result.
+    """
+    return "seed" in inspect.signature(spec.runner).parameters
+
+
+class SeededExperiment:
+    """Picklable ``trial(seed)`` adapter over a registered experiment.
+
+    ``python -m repro sweep`` hands this to :func:`repro.fleet.run_campaign`;
+    being a module-level class holding only the experiment id, it crosses
+    process boundaries under both ``fork`` and ``spawn`` start methods.
+    """
+
+    def __init__(self, exp_id: str) -> None:
+        self.exp_id = get_experiment(exp_id).exp_id  # validate + normalize
+
+    def __call__(self, seed: int) -> dict:
+        spec = get_experiment(self.exp_id)
+        if spec_accepts_seed(spec):
+            return spec.runner(seed=seed)
+        return spec.runner()
 
 
 def render_result(result: dict) -> str:

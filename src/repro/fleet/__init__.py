@@ -1,0 +1,41 @@
+"""Process-parallel multi-seed campaign engine.
+
+The paper's claims are statistical — luring success, capture rates,
+tunnel overhead — so every figure is estimated by running the same
+simulated world under many seeds.  This package shards those sweeps
+across ``multiprocessing`` workers while keeping the repository's
+determinism contract intact:
+
+* a trial's result depends only on its seed, never on worker assignment
+  or completion order;
+* per-worker partials are reduced **in seed order** through the
+  mergeable stats layer (:mod:`repro.sim.stats`,
+  :class:`~repro.core.campaign.TrialStats`), so parallel aggregates are
+  bit-for-bit identical to serial ones;
+* per-trial faults (exceptions, timeouts, dead workers) are retried and
+  then *recorded*, never allowed to abort the sweep.
+
+Entry points: :func:`run_campaign` here, ``run_trials(..., workers=N)``
+in :mod:`repro.core.campaign`, and ``python -m repro sweep`` on the
+command line.  See DESIGN.md §7 for the architecture sketch.
+"""
+
+from repro.fleet.errors import (CampaignError, FleetError, TrialFailure,
+                                FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT)
+from repro.fleet.reduce import campaign_stats, merge_all
+from repro.fleet.scheduler import CampaignResult, run_campaign
+from repro.fleet.worker import TrialOutcome
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "FleetError",
+    "TrialFailure",
+    "TrialOutcome",
+    "FAIL_CRASH",
+    "FAIL_ERROR",
+    "FAIL_TIMEOUT",
+    "campaign_stats",
+    "merge_all",
+    "run_campaign",
+]

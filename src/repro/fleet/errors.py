@@ -1,0 +1,69 @@
+"""Failure taxonomy for parallel campaigns.
+
+A campaign never aborts because one trial went wrong: every per-trial
+problem is classified, retried once (by default), and — if it persists —
+recorded as a :class:`TrialFailure` in the sweep result.  Only misuse of
+the engine itself (bad arguments, unpicklable trial under ``spawn``)
+raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CampaignError", "FleetError", "TrialFailure",
+           "FAIL_CRASH", "FAIL_ERROR", "FAIL_TIMEOUT"]
+
+#: The trial callable raised an exception.
+FAIL_ERROR = "error"
+#: The trial exceeded its per-trial timeout (worker alarm or parent watchdog).
+FAIL_TIMEOUT = "timeout"
+#: The worker process died mid-trial (segfault, os._exit, OOM kill, ...).
+FAIL_CRASH = "crash"
+
+
+class FleetError(Exception):
+    """Base class for campaign-engine errors."""
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One trial that failed every attempt it was given.
+
+    Attributes
+    ----------
+    seed:
+        The trial's seed (``seed_base + index``).
+    index:
+        The trial's position in the sweep, ``0 <= index < n``.
+    kind:
+        One of :data:`FAIL_ERROR`, :data:`FAIL_TIMEOUT`, :data:`FAIL_CRASH`.
+    message:
+        Human-readable description of the last failing attempt.
+    attempts:
+        Total attempts made (1 + retries).
+    """
+
+    seed: int
+    index: int
+    kind: str
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "index": self.index, "kind": self.kind,
+                "message": self.message, "attempts": self.attempts}
+
+
+class CampaignError(FleetError):
+    """Raised by APIs that promise a complete aggregate (``run_trials``)
+    when one or more trials failed all their attempts."""
+
+    def __init__(self, failures: list[TrialFailure]) -> None:
+        self.failures = list(failures)
+        preview = "; ".join(
+            f"seed {f.seed}: {f.kind} ({f.message})" for f in self.failures[:3])
+        more = f" (+{len(self.failures) - 3} more)" if len(self.failures) > 3 else ""
+        super().__init__(
+            f"{len(self.failures)} trial(s) failed after retries: {preview}{more}")

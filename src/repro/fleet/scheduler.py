@@ -1,0 +1,399 @@
+"""Parent-process side of the fleet engine: sharding, watchdogs, reduction.
+
+``run_campaign`` shards an ``n``-seed sweep across ``workers`` processes
+while preserving the repository's determinism contract:
+
+* each trial's result depends only on its seed (``seed_base + index``) —
+  never on which worker ran it or in what order trials completed;
+* results are reduced in seed order (:mod:`repro.fleet.reduce`), so the
+  aggregate is bit-for-bit identical to a serial run.
+
+Scheduling is dynamic (one shared task queue, workers pull as they
+finish) which keeps all cores busy regardless of per-trial variance;
+determinism is unaffected because reduction ignores completion order.
+
+Fault containment: a trial that raises is reported by its worker; a
+trial that overruns its ``timeout`` is interrupted by the worker's
+SIGALRM; a trial hung in signal-blocking code is killed by the parent
+watchdog; a worker process that dies outright (segfault, ``os._exit``)
+is detected via its exit code and replaced.  In every case the affected
+trial is retried (``retries`` times, default once) and, if it keeps
+failing, recorded as a :class:`~repro.fleet.errors.TrialFailure` — the
+rest of the sweep always completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.campaign import TrialStats
+from repro.fleet.errors import (FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT,
+                                FleetError, TrialFailure)
+from repro.fleet.reduce import campaign_stats
+from repro.fleet.worker import TrialOutcome, _TrialTimeout, run_one, worker_main
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+#: How long past the worker-side alarm the parent waits before declaring a
+#: worker hung and killing it (the alarm normally fires first; the watchdog
+#: only triggers for trials stuck in signal-blocking native code).
+_WATCHDOG_GRACE_S = 1.0
+#: Poll interval for the parent's event loop.
+_POLL_S = 0.05
+
+
+@dataclass
+class CampaignResult:
+    """Everything a sweep produced, reducible and serializable.
+
+    ``per_index`` maps trial index → value for every trial that
+    succeeded; ``failures`` lists every trial that failed all attempts;
+    ``traces`` maps seed → serialized trace records for sampled seeds.
+    """
+
+    n: int
+    seed_base: int
+    workers: int
+    elapsed_s: float
+    per_index: Dict[int, Any] = field(default_factory=dict)
+    failures: List[TrialFailure] = field(default_factory=list)
+    traces: Dict[int, List[dict]] = field(default_factory=dict)
+
+    @property
+    def per_seed(self) -> Dict[int, Any]:
+        """Successful results keyed by seed, in seed order."""
+        return {self.seed_base + i: self.per_index[i]
+                for i in sorted(self.per_index)}
+
+    @property
+    def ok(self) -> int:
+        """Number of trials that produced a result."""
+        return len(self.per_index)
+
+    @property
+    def stats(self) -> Optional[TrialStats]:
+        """Seed-order :class:`TrialStats` aggregate (None for non-numeric sweeps)."""
+        return campaign_stats(self.per_index, self.n)
+
+    @property
+    def throughput(self) -> float:
+        """Resolved trials per wall-clock second."""
+        total = self.ok + len(self.failures)
+        return total / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_json_dict(self) -> dict:
+        """JSON-shaped summary used by ``python -m repro sweep --json``."""
+        return {
+            "trials": self.n,
+            "seed_base": self.seed_base,
+            "workers": self.workers,
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+            "results": [{"seed": seed, "value": value}
+                        for seed, value in self.per_seed.items()],
+            "failures": [f.to_dict() for f in self.failures],
+            "traces": {str(seed): recs for seed, recs in sorted(self.traces.items())},
+        }
+
+
+def run_campaign(n: int, trial: Callable[[int], Any], *,
+                 seed_base: int = 1000, workers: int = 1,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 sample_traces: int = 0) -> CampaignResult:
+    """Run ``trial(seed)`` for ``n`` seeds, sharded over ``workers`` processes.
+
+    Parameters
+    ----------
+    trial:
+        Callable of one seed.  May return a number (aggregated into
+        :attr:`CampaignResult.stats`), any picklable payload (kept as raw
+        per-seed results), or a :class:`TrialOutcome` to also ship a
+        sampled trace back to the parent.  Under the ``fork`` start
+        method (Linux) closures work; under ``spawn`` the callable must
+        be picklable (module-level function or callable instance).
+    workers:
+        ``1`` runs everything in-process (no multiprocessing machinery);
+        ``>1`` spawns that many worker processes.
+    timeout:
+        Per-trial wall-clock budget in seconds.  Overruns are recorded
+        as failures, not sweep aborts.
+    retries:
+        Extra attempts granted to a failed trial before it is recorded
+        as a :class:`TrialFailure`.
+    sample_traces:
+        Ship serialized traces for the first ``k`` seeds (only for
+        trials returning :class:`TrialOutcome` with a trace attached).
+    """
+    if n < 0:
+        raise FleetError(f"trial count must be >= 0, got {n}")
+    if retries < 0:
+        raise FleetError(f"retries must be >= 0, got {retries}")
+    trace_indices = frozenset(range(min(max(sample_traces, 0), n)))
+    started = time.perf_counter()
+    if workers <= 1 or n <= 1:
+        per_index, failures, traces = _run_serial(
+            n, trial, seed_base, timeout, retries, trace_indices)
+        workers = 1
+    else:
+        per_index, failures, traces = _run_parallel(
+            n, trial, seed_base, min(workers, n), timeout, retries,
+            trace_indices)
+    return CampaignResult(
+        n=n, seed_base=seed_base, workers=workers,
+        elapsed_s=time.perf_counter() - started,
+        per_index=per_index,
+        failures=sorted(failures, key=lambda f: f.index),
+        traces={seed_base + i: recs for i, recs in sorted(traces.items())})
+
+
+# ----------------------------------------------------------------------
+# serial fast path (workers=1): same semantics, no multiprocessing
+# ----------------------------------------------------------------------
+
+def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
+    per_index: Dict[int, Any] = {}
+    failures: List[TrialFailure] = []
+    traces: Dict[int, List[dict]] = {}
+    for index in range(n):
+        for attempt in range(1, retries + 2):
+            try:
+                outcome = run_one(trial, seed_base + index, timeout)
+            except _TrialTimeout:
+                kind, message = FAIL_TIMEOUT, f"trial exceeded its {timeout}s timeout"
+            except Exception as exc:
+                kind, message = FAIL_ERROR, f"{type(exc).__name__}: {exc}"
+            else:
+                value = outcome
+                if isinstance(outcome, TrialOutcome):
+                    value = outcome.value
+                    if index in trace_indices and outcome.trace is not None:
+                        traces[index] = outcome.trace.to_dicts()
+                per_index[index] = value
+                break
+            if attempt == retries + 1:
+                failures.append(TrialFailure(
+                    seed=seed_base + index, index=index, kind=kind,
+                    message=message, attempts=attempt))
+    return per_index, failures, traces
+
+
+# ----------------------------------------------------------------------
+# parallel path
+# ----------------------------------------------------------------------
+
+def _fleet_context():
+    """``fork`` when the platform offers it (fast, closure-friendly);
+    ``spawn`` otherwise (requires picklable trials)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _Fleet:
+    """Book-keeping for one parallel sweep."""
+
+    def __init__(self, ctx, n, trial, seed_base, workers, timeout,
+                 retries, trace_indices):
+        self.ctx = ctx
+        self.n = n
+        self.trial = trial
+        self.seed_base = seed_base
+        self.timeout = timeout
+        self.retries = retries
+        self.trace_indices = trace_indices
+        # Tasks ride an mp.Queue (buffered: the parent can enqueue the whole
+        # sweep up-front without blocking).  Results ride a SimpleQueue:
+        # its put() writes to the pipe synchronously in the worker, so a
+        # worker that dies mid-trial has always flushed its "start"
+        # message first and the parent knows exactly which index it held.
+        self.task_queue = ctx.Queue()
+        self.result_queue = ctx.SimpleQueue()
+        self.procs: Dict[int, Any] = {}          # live worker id -> Process
+        self.in_flight: Dict[int, tuple] = {}    # worker id -> (index, deadline)
+        self.failed_attempts: Dict[int, int] = {}
+        self.per_index: Dict[int, Any] = {}
+        self.failures: List[TrialFailure] = []
+        self.traces: Dict[int, List[dict]] = {}
+        self.resolved: set[int] = set()
+        self._next_worker_id = 0
+        self._last_progress = time.monotonic()
+        self._stall_s = max(5.0, 2.0 * (timeout or 0.0))
+        for index in range(n):
+            self.task_queue.put(index)
+        for _ in range(workers):
+            self._spawn()
+
+    # -- workers -------------------------------------------------------
+    def _spawn(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.trial, self.seed_base, self.timeout,
+                  self.trace_indices, self.task_queue, self.result_queue),
+            daemon=True)
+        proc.start()
+        self.procs[worker_id] = proc
+
+    def _retire(self, worker_id: int, *, kill: bool = False) -> None:
+        proc = self.procs.pop(worker_id, None)
+        self.in_flight.pop(worker_id, None)
+        if proc is None:
+            return
+        if kill and proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=1.0)
+
+    # -- per-trial resolution ------------------------------------------
+    def _record_success(self, index, value, trace_dicts) -> None:
+        if index in self.resolved:
+            return  # stale duplicate (e.g. retry raced a watchdog kill)
+        self.resolved.add(index)
+        self.per_index[index] = value
+        if trace_dicts is not None:
+            self.traces[index] = trace_dicts
+
+    def _record_failed_attempt(self, index, kind, message) -> None:
+        if index in self.resolved:
+            return
+        attempts = self.failed_attempts.get(index, 0) + 1
+        self.failed_attempts[index] = attempts
+        if attempts <= self.retries:
+            self.task_queue.put(index)  # one more chance
+        else:
+            self.resolved.add(index)
+            self.failures.append(TrialFailure(
+                seed=self.seed_base + index, index=index, kind=kind,
+                message=message, attempts=attempts))
+
+    # -- failure detection ---------------------------------------------
+    def _deadline(self) -> Optional[float]:
+        if self.timeout is None:
+            return None
+        return time.monotonic() + self.timeout + _WATCHDOG_GRACE_S
+
+    def _police_workers(self) -> None:
+        """Reap dead workers, kill hung ones, keep the fleet staffed."""
+        for worker_id in list(self.procs):
+            proc = self.procs[worker_id]
+            flight = self.in_flight.get(worker_id)
+            if not proc.is_alive():
+                # Drain any messages the worker managed to send first.
+                if self._drain_one():
+                    return  # re-enter after processing; state may have changed
+                self._retire(worker_id)
+                if flight is not None:
+                    index = flight[0]
+                    self._record_failed_attempt(
+                        index, FAIL_CRASH,
+                        f"worker exited with code {proc.exitcode} mid-trial")
+                if len(self.resolved) < self.n:
+                    self._spawn()
+            elif (flight is not None and flight[1] is not None
+                  and time.monotonic() > flight[1]):
+                index = flight[0]
+                self._retire(worker_id, kill=True)
+                self._record_failed_attempt(
+                    index, FAIL_TIMEOUT,
+                    f"trial exceeded its {self.timeout}s timeout "
+                    f"(hung worker killed by watchdog)")
+                if len(self.resolved) < self.n:
+                    self._spawn()
+        self._recover_lost_tasks()
+
+    def _recover_lost_tasks(self) -> None:
+        """Last-resort accounting: re-enqueue indices nobody is working on.
+
+        The only way a task can vanish is a worker dying in the few
+        instructions between pulling an index off the task queue and
+        announcing it on the (synchronous) result queue — e.g. an
+        external SIGKILL at exactly the wrong moment.  If the fleet has
+        been idle (no in-flight trials, no progress) long enough that
+        any queued task would certainly have been picked up, re-enqueue
+        everything unresolved; duplicate completions are deduped by
+        :meth:`_record_success`.
+        """
+        if self.in_flight or len(self.resolved) >= self.n:
+            return
+        if time.monotonic() - self._last_progress < self._stall_s:
+            return
+        for index in range(self.n):
+            if index not in self.resolved:
+                self.task_queue.put(index)
+        self._last_progress = time.monotonic()
+
+    # -- event loop ----------------------------------------------------
+    def _handle(self, message) -> None:
+        kind, worker_id, index, a, b = message
+        self._last_progress = time.monotonic()
+        if kind == "start":
+            if worker_id in self.procs:
+                self.in_flight[worker_id] = (index, self._deadline())
+        elif kind == "ok":
+            self.in_flight.pop(worker_id, None)
+            self._record_success(index, a, b)
+        elif kind == "fail":
+            self.in_flight.pop(worker_id, None)
+            self._record_failed_attempt(index, a, b)
+        # "bye" needs no action here.
+
+    def _poll_result(self, timeout: float):
+        """Wait up to ``timeout`` for a result message; None on silence."""
+        reader = getattr(self.result_queue, "_reader", None)
+        if reader is not None:
+            if not reader.poll(timeout):
+                return None
+        else:  # pragma: no cover - SimpleQueue always has _reader today
+            end = time.monotonic() + timeout
+            while self.result_queue.empty():
+                if time.monotonic() >= end:
+                    return None
+                time.sleep(0.005)
+        try:
+            return self.result_queue.get()
+        except EOFError:  # pragma: no cover - all writers vanished
+            return None
+
+    def _drain_one(self) -> bool:
+        message = self._poll_result(0.0)
+        if message is None:
+            return False
+        self._handle(message)
+        return True
+
+    def run(self):
+        try:
+            while len(self.resolved) < self.n:
+                message = self._poll_result(_POLL_S)
+                if message is None:
+                    self._police_workers()
+                    continue
+                self._handle(message)
+            return self.per_index, self.failures, self.traces
+        finally:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        for _ in self.procs:
+            self.task_queue.put(None)
+        deadline = time.monotonic() + 5.0
+        for worker_id in list(self.procs):
+            proc = self.procs[worker_id]
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            self.procs.pop(worker_id, None)
+        # Don't let the task queue's feeder thread block interpreter exit.
+        self.task_queue.cancel_join_thread()
+        self.task_queue.close()
+        self.result_queue.close()
+
+
+def _run_parallel(n, trial, seed_base, workers, timeout, retries,
+                  trace_indices):
+    fleet = _Fleet(_fleet_context(), n, trial, seed_base, workers, timeout,
+                   retries, trace_indices)
+    return fleet.run()

@@ -1,0 +1,103 @@
+"""Worker-process side of the fleet engine.
+
+A worker is a plain loop: pull a trial index off the task queue, run
+``trial(seed_base + index)`` under an optional SIGALRM-based per-trial
+timeout, and push the outcome to the result queue.  Workers never decide
+policy — retries, watchdogs, and reduction all live in the parent
+(:mod:`repro.fleet.scheduler`) so that a worker can be killed and
+respawned at any moment without losing campaign state.
+
+Wire protocol (all messages are 5-tuples on the result queue)::
+
+    ("start", worker_id, index, None, None)        # about to run index
+    ("ok",    worker_id, index, value, traces)     # traces: list[dict] | None
+    ("fail",  worker_id, index, kind, message)     # kind: "error" | "timeout"
+    ("bye",   worker_id, None,  None, None)        # clean shutdown
+
+``"start"`` always precedes the matching ``"ok"``/``"fail"`` and the
+queue preserves per-worker ordering, so the parent always knows which
+index a dead or hung worker was holding.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Optional
+
+from repro.fleet.errors import FAIL_ERROR, FAIL_TIMEOUT
+from repro.sim.trace import Trace
+
+__all__ = ["TrialOutcome", "run_one", "worker_main"]
+
+
+@dataclass
+class TrialOutcome:
+    """Optional rich return type for trial callables.
+
+    A trial may return a bare value (float for campaigns, any picklable
+    payload for sweeps) or a ``TrialOutcome`` carrying the value plus the
+    world's :class:`~repro.sim.trace.Trace`.  For seeds the campaign was
+    asked to sample (``sample_traces=k``), the worker serializes the
+    trace with :meth:`TraceRecord.to_dict` and ships it to the parent.
+    """
+
+    value: Any
+    trace: Optional[Trace] = None
+
+
+class _TrialTimeout(Exception):
+    """Internal: raised by the SIGALRM handler when a trial overruns."""
+
+
+def _on_alarm(signum: int, frame: Any) -> None:
+    raise _TrialTimeout()
+
+
+def run_one(trial: Callable[[int], Any], seed: int,
+            timeout: Optional[float] = None) -> Any:
+    """Run one trial, raising :class:`_TrialTimeout` if it overruns.
+
+    The timeout uses ``signal.setitimer`` where available (POSIX main
+    thread); elsewhere the trial runs unguarded and the parent-side
+    watchdog is the only enforcement.  Pure-Python trials observe the
+    alarm between bytecodes; trials hung inside C code that blocks
+    signals are caught by the parent watchdog instead.
+    """
+    if timeout is None or not hasattr(signal, "setitimer"):
+        return trial(seed)
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return trial(seed)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def worker_main(worker_id: int, trial: Callable[[int], Any], seed_base: int,
+                timeout: Optional[float], trace_indices: FrozenSet[int],
+                task_queue: Any, result_queue: Any) -> None:
+    """Process entry point: drain the task queue until a ``None`` sentinel."""
+    while True:
+        index = task_queue.get()
+        if index is None:
+            result_queue.put(("bye", worker_id, None, None, None))
+            return
+        result_queue.put(("start", worker_id, index, None, None))
+        try:
+            outcome = run_one(trial, seed_base + index, timeout)
+        except _TrialTimeout:
+            result_queue.put(("fail", worker_id, index, FAIL_TIMEOUT,
+                              f"trial exceeded its {timeout}s timeout"))
+            continue
+        except Exception as exc:
+            result_queue.put(("fail", worker_id, index, FAIL_ERROR,
+                              f"{type(exc).__name__}: {exc}"))
+            continue
+        value, trace_dicts = outcome, None
+        if isinstance(outcome, TrialOutcome):
+            value = outcome.value
+            if index in trace_indices and outcome.trace is not None:
+                trace_dicts = outcome.trace.to_dicts()
+        result_queue.put(("ok", worker_id, index, value, trace_dicts))

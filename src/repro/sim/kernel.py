@@ -162,7 +162,11 @@ class Simulator:
 
         ``jitter`` adds a uniform random offset in ``[0, jitter)`` to each
         firing (drawn from the simulator RNG, hence deterministic).
-        Returns a zero-argument callable that stops the recurrence.
+        ``until`` is an inclusive bound: a firing lands at ``until`` if the
+        cadence hits it exactly, and no event is ever armed past it (so a
+        bounded recurrence never drags the clock beyond its bound).
+        Returns a zero-argument callable that stops the recurrence,
+        cancelling the already-armed next firing.
         """
         if interval <= 0:
             raise ScheduleError("interval must be positive")
@@ -183,6 +187,8 @@ class Simulator:
             if until is not None and self._now >= until:
                 return
             delay = interval + (self.rng.uniform(0.0, jitter) if jitter else 0.0)
+            if until is not None and self._now + delay > until:
+                return  # next firing would land past the bound: don't arm it
             pending.clear()
             pending.append(self.schedule(delay, fire))
 

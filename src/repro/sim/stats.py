@@ -4,6 +4,12 @@ Online (single-pass) accumulators only: experiments can run for millions
 of events without retaining per-sample state, except where a
 distribution is explicitly wanted (:class:`Histogram`,
 :class:`TimeSeries`).
+
+Every accumulator here is *mergeable*: ``a.merge(b)`` folds ``b``'s
+observations into ``a`` as if they had been added to ``a`` directly.
+This is what lets :mod:`repro.fleet` shard a campaign across worker
+processes and combine the per-worker partials into one aggregate —
+see DESIGN.md §7 for the contract a new accumulator must satisfy.
 """
 
 from __future__ import annotations
@@ -27,6 +33,12 @@ class Counter:
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold ``other``'s counts into this counter (returns self)."""
+        for name, count in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + count
+        return self
 
     def as_dict(self) -> dict[str, int]:
         return dict(self._counts)
@@ -59,6 +71,28 @@ class Welford:
     def extend(self, xs: Iterable[float]) -> None:
         for x in xs:
             self.add(x)
+
+    def merge(self, other: "Welford") -> "Welford":
+        """Combine another accumulator into this one (returns self).
+
+        Uses Chan et al.'s parallel update, so merging partials over any
+        split of a sample equals single-pass accumulation over the whole
+        (up to float rounding on mean/variance; n/min/max are exact).
+        """
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            self.min, self.max = other.min, other.max
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
 
     @property
     def mean(self) -> float:
@@ -98,6 +132,22 @@ class Histogram:
         else:
             idx = bisect_right(self._edges, x) - 1
             self.counts[min(idx, self.bins - 1)] += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Add another histogram's counts bin-for-bin (returns self).
+
+        Both histograms must have identical ``(lo, hi, bins)``.
+        """
+        if (self.lo, self.hi, self.bins) != (other.lo, other.hi, other.bins):
+            raise ValueError(
+                f"cannot merge histograms with different binning: "
+                f"({self.lo}, {self.hi}, {self.bins}) vs "
+                f"({other.lo}, {other.hi}, {other.bins})")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
 
     @property
     def total(self) -> int:

@@ -40,6 +40,18 @@ class TraceRecord:
         kv = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
         return f"[{self.time:10.6f}] {self.category:<24} {self.source:<16} {kv}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, suitable for pickling / JSON / cross-process IPC."""
+        return {"time": self.time, "category": self.category,
+                "source": self.source, "detail": dict(self.detail)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(time=float(data["time"]), category=str(data["category"]),
+                   source=str(data["source"]),
+                   detail=dict(data.get("detail") or {}))
+
 
 class Trace:
     """An append-only record of simulation events with query helpers."""
@@ -124,6 +136,32 @@ class Trace:
 
     def clear(self) -> None:
         self.records.clear()
+
+    # ------------------------------------------------------------------
+    # serialization (fleet workers ship sampled traces to the parent)
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All retained records as plain dicts (see :meth:`TraceRecord.to_dict`)."""
+        return [rec.to_dict() for rec in self.records]
+
+    @classmethod
+    def from_dicts(cls, dicts: list[dict[str, Any]]) -> "Trace":
+        """Rebuild a (listener-less) trace from :meth:`to_dicts` output."""
+        trace = cls()
+        trace.records = [TraceRecord.from_dict(d) for d in dicts]
+        return trace
+
+    def summary(self) -> dict[str, Any]:
+        """Compact, serializable digest: record count, per-category counts, span."""
+        by_category: dict[str, int] = {}
+        for rec in self.records:
+            by_category[rec.category] = by_category.get(rec.category, 0) + 1
+        return {
+            "n": len(self.records),
+            "by_category": by_category,
+            "t_first": self.records[0].time if self.records else None,
+            "t_last": self.records[-1].time if self.records else None,
+        }
 
     def dump(self, category: Optional[str] = None) -> str:
         """Human-readable transcript (used by examples and debugging)."""

@@ -1,9 +1,13 @@
 """The `python -m repro` CLI and the experiment registry."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
-from repro.core.registry import EXPERIMENTS, get_experiment, render_result
+from repro.core.registry import (EXPERIMENTS, SeededExperiment,
+                                 get_experiment, render_result,
+                                 spec_accepts_seed)
 
 
 def test_registry_covers_design_index():
@@ -54,6 +58,53 @@ def test_cli_run_fast_experiment(capsys):
 
 def test_cli_run_unknown(capsys):
     assert main(["run", "E-NOPE"]) == 2
+
+
+def test_cli_run_fig2(capsys):
+    assert main(["run", "FIG2"]) == 0
+    out = capsys.readouterr().out
+    assert "rogue + netsed" in out and "completed in" in out
+
+
+def test_cli_sweep_json_parallel(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    assert main(["sweep", "E-8021X", "--trials", "3", "--workers", "2",
+                 "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep E-8021X" in out and "1002" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "E-8021X"
+    assert payload["trials"] == 3 and payload["workers"] == 2
+    assert payload["failures"] == []
+    assert [r["seed"] for r in payload["results"]] == [1000, 1001, 1002]
+    for entry in payload["results"]:
+        assert entry["value"]["rows"]  # each per-seed result carries its tables
+
+
+def test_cli_sweep_unknown_experiment(capsys):
+    assert main(["sweep", "E-NOPE"]) == 2
+
+
+def test_cli_sweep_custom_seed_base(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    assert main(["sweep", "E-8021X", "--trials", "2", "--seed-base", "7",
+                 "--json", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert [r["seed"] for r in payload["results"]] == [7, 8]
+
+
+def test_seeded_experiment_adapter():
+    adapter = SeededExperiment("e-8021x")  # case-insensitive, normalized
+    assert adapter.exp_id == "E-8021X"
+    result = adapter(seed=3)
+    assert result["rows"]
+    with pytest.raises(KeyError):
+        SeededExperiment("E-NOPE")
+
+
+def test_spec_accepts_seed_distinguishes_runner_shapes():
+    assert spec_accepts_seed(get_experiment("FIG2"))          # runner(seed=...)
+    assert not spec_accepts_seed(get_experiment("E-NETSED"))  # runner(trials=...)
 
 
 def test_cli_report_writes_markdown(tmp_path, monkeypatch, capsys):

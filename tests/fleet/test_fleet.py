@@ -1,0 +1,211 @@
+"""The fleet campaign engine: determinism, fault containment, reduction.
+
+Trial callables live at module level so they survive pickling under any
+multiprocessing start method (fork inherits them anyway; spawn needs
+the names importable).
+"""
+
+import os
+import signal
+import time
+from functools import partial
+
+import pytest
+
+from repro.core.campaign import TrialStats, run_trials
+from repro.fleet import (CampaignError, TrialOutcome, campaign_stats,
+                         merge_all, run_campaign,
+                         FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT)
+from repro.sim.rng import SimRandom
+from repro.sim.trace import Trace, TraceRecord
+
+
+def rng_trial(seed):
+    """Cheap deterministic trial: value depends only on the seed."""
+    rng = SimRandom(seed)
+    return float(rng.randint(0, 1000)) / 1000.0
+
+
+def failing_trial(seed):
+    if seed == 1005:
+        raise ValueError("seed 1005 always fails")
+    return 1.0
+
+
+def crashing_trial(seed):
+    if seed == 1003:
+        os._exit(17)  # hard death: no exception, no cleanup
+    return 0.5
+
+
+def sleepy_trial(seed):
+    if seed == 1002:
+        time.sleep(60)  # interrupted by the worker's SIGALRM
+    return 2.0
+
+
+def signal_proof_hang_trial(seed):
+    """Hang that the worker-side alarm cannot break (SIGALRM blocked)."""
+    if seed == 1001:
+        signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+        time.sleep(60)
+    return 1.0
+
+
+def flaky_trial(seed, marker_dir=None):
+    """Fails the first attempt for each seed, succeeds on retry."""
+    marker = os.path.join(marker_dir, f"{seed}.attempted")
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return 3.0
+
+
+def traced_trial(seed):
+    trace = Trace()
+    trace.emit("fleet.test", "trial", seed=seed)
+    return TrialOutcome(value=float(seed), trace=trace)
+
+
+# ----------------------------------------------------------------------
+# determinism: worker count must not matter
+# ----------------------------------------------------------------------
+
+def test_parallel_aggregate_bit_identical_to_serial():
+    serial = run_campaign(40, rng_trial, workers=1)
+    parallel = run_campaign(40, rng_trial, workers=4)
+    assert serial.stats.values == parallel.stats.values  # bit-for-bit
+    assert serial.per_seed == parallel.per_seed
+    assert serial.failures == parallel.failures == []
+
+
+def test_run_trials_workers_keyword_matches_serial():
+    serial = run_trials(40, rng_trial)
+    parallel = run_trials(40, rng_trial, workers=4)
+    assert serial.values == parallel.values
+    assert serial.mean == parallel.mean
+    assert serial.stdev == parallel.stdev
+
+
+def test_parallel_runs_are_repeatable():
+    first = run_campaign(24, rng_trial, workers=3)
+    second = run_campaign(24, rng_trial, workers=3)
+    assert first.stats.values == second.stats.values
+
+
+# ----------------------------------------------------------------------
+# fault containment: failures are data, not aborts
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_raising_trial_recorded_not_fatal(workers):
+    result = run_campaign(8, failing_trial, workers=workers)
+    assert result.ok == 7
+    assert [f.seed for f in result.failures] == [1005]
+    failure = result.failures[0]
+    assert failure.kind == FAIL_ERROR
+    assert "seed 1005 always fails" in failure.message
+    assert failure.attempts == 2  # initial try + one retry
+    assert result.stats.n == 7  # failed trial contributes nothing
+
+
+def test_timeout_enforced_by_worker_alarm():
+    started = time.monotonic()
+    result = run_campaign(6, sleepy_trial, workers=2, timeout=0.5)
+    assert time.monotonic() - started < 30  # nowhere near the 60s sleep
+    assert result.ok == 5
+    assert [(f.seed, f.kind) for f in result.failures] == [(1002, FAIL_TIMEOUT)]
+
+
+def test_timeout_enforced_by_parent_watchdog():
+    """A trial hung with SIGALRM blocked is killed from the outside."""
+    result = run_campaign(4, signal_proof_hang_trial, workers=2,
+                          timeout=0.5, retries=0)
+    assert result.ok == 3
+    assert [(f.seed, f.kind) for f in result.failures] == [(1001, FAIL_TIMEOUT)]
+
+
+def test_dead_worker_detected_and_replaced():
+    result = run_campaign(6, crashing_trial, workers=2)
+    assert result.ok == 5  # the fleet was restaffed and finished the sweep
+    assert [(f.seed, f.kind) for f in result.failures] == [(1003, FAIL_CRASH)]
+    assert result.failures[0].attempts == 2
+
+
+def test_serial_timeout_path():
+    result = run_campaign(4, sleepy_trial, workers=1, timeout=0.5, retries=0)
+    assert result.ok == 3
+    assert [(f.seed, f.kind) for f in result.failures] == [(1002, FAIL_TIMEOUT)]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_retry_rescues_transient_failures(tmp_path, workers):
+    trial = partial(flaky_trial, marker_dir=str(tmp_path))
+    result = run_campaign(5, trial, workers=workers, retries=1)
+    assert result.failures == []
+    assert result.ok == 5
+    assert result.stats.values == [3.0] * 5
+    # every seed really did fail once before succeeding
+    assert len(list(tmp_path.glob("*.attempted"))) == 5
+
+
+def test_run_trials_raises_campaign_error_on_persistent_failure():
+    with pytest.raises(CampaignError) as excinfo:
+        run_trials(8, failing_trial, workers=2)
+    assert [f.seed for f in excinfo.value.failures] == [1005]
+
+
+# ----------------------------------------------------------------------
+# trace shipping
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sampled_traces_ship_to_parent(workers):
+    result = run_campaign(4, traced_trial, workers=workers, sample_traces=2)
+    assert sorted(result.traces) == [1000, 1001]
+    for seed, dicts in result.traces.items():
+        records = [TraceRecord.from_dict(d) for d in dicts]
+        assert [r.category for r in records] == ["fleet.test"]
+        assert records[0].detail == {"seed": seed}
+    # unsampled seeds still contribute values
+    assert result.stats.values == [1000.0, 1001.0, 1002.0, 1003.0]
+
+
+# ----------------------------------------------------------------------
+# reduction helpers
+# ----------------------------------------------------------------------
+
+def test_campaign_stats_reduces_in_seed_order():
+    per_index = {i: float(i) for i in range(10)}
+    for chunk in (1, 3, 10, 64):
+        stats = campaign_stats(per_index, 10, chunk=chunk)
+        assert stats.values == [float(i) for i in range(10)]
+
+
+def test_campaign_stats_skips_failed_indices():
+    per_index = {0: 1.0, 2: 3.0}
+    stats = campaign_stats(per_index, 3)
+    assert stats.values == [1.0, 3.0]
+
+
+def test_campaign_stats_none_for_payload_sweeps():
+    assert campaign_stats({0: {"rows": []}}, 1) is None
+
+
+def test_merge_all_chains_accumulators():
+    parts = []
+    for lo in (0, 5):
+        part = TrialStats()
+        for v in range(lo, lo + 5):
+            part.add(float(v))
+        parts.append(part)
+    total = merge_all(TrialStats(), *parts)
+    assert total.values == [float(v) for v in range(10)]
+
+
+def test_empty_campaign():
+    result = run_campaign(0, rng_trial, workers=3)
+    assert result.ok == 0
+    assert result.failures == []
+    assert result.stats.n == 0

@@ -1,0 +1,54 @@
+"""Determinism golden tests.
+
+The whole reproduction rests on one property: a simulated world is a
+pure function of its seed.  These tests pin that down at two levels —
+the full FIG2 download-MITM world (trace-for-trace), and the campaign
+layer (serial and parallel sweeps must agree bit-for-bit).
+"""
+
+from repro.core.campaign import run_trials
+from repro.core.scenario import build_corp_scenario
+
+
+def _run_fig2_world(seed):
+    """One FIG2 world: rogue + netsed MITM against a downloading victim."""
+    scenario = build_corp_scenario(seed=seed)
+    scenario.arm_download_mitm()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    outcome = scenario.run_download_experiment(victim)
+    categories = [rec.category for rec in scenario.sim.trace.records]
+    counters = {
+        "events_dispatched": scenario.sim.events_dispatched,
+        "trace_by_category": scenario.sim.trace.summary()["by_category"],
+        "netsed_replacements": scenario.rogue.netsed.total_replacements,
+        "netsed_connections": scenario.rogue.netsed.connections_proxied,
+        "compromised": outcome.compromised,
+        "md5_ok": outcome.md5_ok,
+        "final_time": scenario.sim.now,
+    }
+    return categories, counters
+
+
+def fig2_compromise_trial(seed):
+    """Module-level trial (picklable) for the campaign-level golden test."""
+    scenario = build_corp_scenario(seed=seed)
+    scenario.arm_download_mitm()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    outcome = scenario.run_download_experiment(victim)
+    return 1.0 if outcome.compromised else 0.0
+
+
+def test_fig2_world_identical_for_identical_seed():
+    categories_a, counters_a = _run_fig2_world(seed=11)
+    categories_b, counters_b = _run_fig2_world(seed=11)
+    assert categories_a == categories_b  # the full event-category sequence
+    assert counters_a == counters_b
+
+
+def test_fig2_campaign_identical_serial_vs_parallel():
+    serial = run_trials(6, fig2_compromise_trial, seed_base=300)
+    parallel = run_trials(6, fig2_compromise_trial, seed_base=300, workers=4)
+    assert serial.values == parallel.values  # bit-for-bit, not just close
+    assert serial.mean == parallel.mean

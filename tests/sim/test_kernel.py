@@ -119,6 +119,66 @@ def test_every_until_bound():
     assert hits == [1.0, 2.0]
 
 
+def test_every_until_is_inclusive_at_exact_boundary():
+    sim = Simulator(seed=0)
+    hits = []
+    sim.every(1.0, lambda: hits.append(sim.now), until=3.0)
+    sim.run()
+    assert hits == [1.0, 2.0, 3.0]  # the firing landing exactly at until runs
+
+
+def test_every_never_arms_an_event_past_until():
+    """A bounded recurrence must not drag the clock beyond its bound."""
+    sim = Simulator(seed=0)
+    hits = []
+    sim.every(1.0, lambda: hits.append(sim.now), until=2.5)
+    sim.run()  # unbounded run: only armed events advance the clock
+    assert hits == [1.0, 2.0]
+    assert sim.now == 2.0  # no ghost event at 3.0
+    assert sim.pending == 0
+
+
+def test_every_stop_cancels_already_armed_event():
+    sim = Simulator(seed=0)
+    hits = []
+    stop = sim.every(1.0, lambda: hits.append(sim.now))
+    stop()  # the t=1.0 firing is armed but must never run
+    sim.run()
+    assert hits == []
+    assert sim.now == 0.0  # the cancelled event didn't advance the clock
+
+
+def test_every_stop_from_inside_callback():
+    sim = Simulator(seed=0)
+    hits = []
+    holder = {}
+
+    def tick():
+        hits.append(sim.now)
+        if len(hits) == 2:
+            holder["stop"]()
+
+    holder["stop"] = sim.every(1.0, tick)
+    sim.run(until=10.0)
+    assert hits == [1.0, 2.0]
+
+
+def test_every_jitter_deterministic_for_fixed_seed():
+    def firing_times(seed):
+        sim = Simulator(seed=seed)
+        hits = []
+        sim.every(1.0, lambda: hits.append(sim.now), jitter=0.5, until=20.0)
+        sim.run()
+        return hits
+
+    first, second = firing_times(42), firing_times(42)
+    assert first == second  # bit-for-bit repeatable
+    assert firing_times(43) != first
+    gaps = [b - a for a, b in zip([0.0] + first, first)]
+    assert all(1.0 <= g < 1.5 for g in gaps)  # every gap is interval + [0, jitter)
+    assert all(t <= 20.0 for t in first)
+
+
 def test_max_events_bounds_run():
     sim = Simulator(seed=0)
     hits = []

@@ -6,7 +6,18 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.campaign import TrialStats
 from repro.sim.stats import Counter, Histogram, RateMeter, TimeSeries, Welford, summarize
+
+
+def _split(xs, cuts):
+    """Split ``xs`` into parts at the (sorted, clamped) cut points."""
+    bounds = sorted(min(c, len(xs)) for c in cuts)
+    parts, start = [], 0
+    for b in bounds + [len(xs)]:
+        parts.append(xs[start:b])
+        start = b
+    return parts
 
 
 def test_counter_incr_and_report():
@@ -97,3 +108,110 @@ def test_summarize_small_sample():
 
 def test_summarize_empty():
     assert summarize([])["n"] == 0
+
+
+# ----------------------------------------------------------------------
+# merge(): partials over any split must equal single-pass accumulation
+# (the contract the fleet engine's per-worker sharding relies on)
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=200),
+       st.lists(st.integers(min_value=0, max_value=200), max_size=4))
+def test_welford_merge_equals_single_pass(xs, cuts):
+    whole = Welford()
+    whole.extend(xs)
+    merged = Welford()
+    for part in _split(xs, cuts):
+        partial = Welford()
+        partial.extend(part)
+        merged.merge(partial)
+    assert merged.n == whole.n
+    if xs:
+        assert merged.min == whole.min and merged.max == whole.max
+        assert math.isclose(merged.mean, whole.mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(merged.variance, whole.variance,
+                        rel_tol=1e-9, abs_tol=1e-6)
+
+
+def test_welford_merge_into_empty_copies_everything():
+    src = Welford()
+    src.extend([1.0, 2.0, 3.0])
+    dst = Welford()
+    dst.merge(src)
+    assert (dst.n, dst.mean, dst.variance) == (src.n, src.mean, src.variance)
+    assert (dst.min, dst.max) == (1.0, 3.0)
+    # and merging an empty accumulator is a no-op
+    before = (dst.n, dst.mean, dst.variance)
+    dst.merge(Welford())
+    assert (dst.n, dst.mean, dst.variance) == before
+
+
+@given(st.lists(st.floats(min_value=-50.0, max_value=150.0), max_size=200),
+       st.lists(st.integers(min_value=0, max_value=200), max_size=4))
+def test_histogram_merge_equals_single_pass(xs, cuts):
+    whole = Histogram(0.0, 100.0, 20)
+    for x in xs:
+        whole.add(x)
+    merged = Histogram(0.0, 100.0, 20)
+    for part in _split(xs, cuts):
+        partial = Histogram(0.0, 100.0, 20)
+        for x in part:
+            partial.add(x)
+        merged.merge(partial)
+    assert merged.counts == whole.counts  # exact: counts are integers
+    assert merged.underflow == whole.underflow
+    assert merged.overflow == whole.overflow
+    assert merged.total == whole.total
+
+
+def test_histogram_merge_rejects_mismatched_binning():
+    with pytest.raises(ValueError):
+        Histogram(0.0, 10.0, 10).merge(Histogram(0.0, 10.0, 5))
+    with pytest.raises(ValueError):
+        Histogram(0.0, 10.0, 10).merge(Histogram(0.0, 20.0, 10))
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=200),
+       st.lists(st.integers(min_value=0, max_value=200), max_size=4))
+def test_trialstats_merge_is_exact_concatenation(xs, cuts):
+    whole = TrialStats()
+    for x in xs:
+        whole.add(x)
+    merged = TrialStats()
+    for part in _split(xs, cuts):
+        partial = TrialStats()
+        for x in part:
+            partial.add(x)
+        merged.merge(partial)
+    # in-order merge reproduces the serial sample list bit-for-bit,
+    # so every derived statistic is identical too (same float ops)
+    assert merged.values == whole.values
+    if len(xs) >= 2:
+        assert merged.mean == whole.mean
+        assert merged.stdev == whole.stdev
+
+
+@given(st.dictionaries(st.sampled_from("abcdef"),
+                       st.integers(min_value=-100, max_value=100)),
+       st.dictionaries(st.sampled_from("abcdef"),
+                       st.integers(min_value=-100, max_value=100)))
+def test_counter_merge_adds_counts(left, right):
+    a, b = Counter(), Counter()
+    for k, v in left.items():
+        a.incr(k, v)
+    for k, v in right.items():
+        b.incr(k, v)
+    a.merge(b)
+    for key in set(left) | set(right):
+        assert a.get(key) == left.get(key, 0) + right.get(key, 0)
+
+
+def test_merge_returns_self_for_chaining():
+    w = Welford()
+    assert w.merge(Welford()) is w
+    c = Counter()
+    assert c.merge(Counter()) is c
+    h = Histogram(0.0, 1.0, 2)
+    assert h.merge(Histogram(0.0, 1.0, 2)) is h
+    t = TrialStats()
+    assert t.merge(TrialStats()) is t

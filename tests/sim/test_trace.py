@@ -1,7 +1,7 @@
 """Trace: emission, filtering, listeners, capacity."""
 
 from repro.sim.kernel import Simulator
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceRecord
 
 
 def test_emit_records_time_from_bound_clock():
@@ -64,11 +64,85 @@ def test_capacity_drops_oldest():
     assert t.records[-1].detail["i"] == 24
 
 
+def test_capacity_trims_oldest_half_exactly_once_past_limit():
+    t = Trace(capacity=10)
+    for i in range(10):
+        t.emit("c", "s", i=i)
+    assert [r.detail["i"] for r in t.records] == list(range(10))  # at capacity: untouched
+    t.emit("c", "s", i=10)  # 11th record crosses the limit
+    assert [r.detail["i"] for r in t.records] == [5, 6, 7, 8, 9, 10]
+    # the buffer then refills to capacity before the next trim
+    for i in range(11, 15):
+        t.emit("c", "s", i=i)
+    assert [r.detail["i"] for r in t.records] == [5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
+    t.emit("c", "s", i=15)  # crosses the limit again: one more half-trim
+    assert [r.detail["i"] for r in t.records] == [10, 11, 12, 13, 14, 15]
+
+
+def test_listeners_fire_even_for_records_later_trimmed():
+    t = Trace(capacity=10)
+    seen = []
+    t.subscribe("c", lambda rec: seen.append(rec.detail["i"]))
+    for i in range(25):
+        t.emit("c", "s", i=i)
+    assert seen == list(range(25))  # every emission, including trimmed ones
+    assert len(t.records) < 25
+
+
 def test_disabled_trace_is_silent():
     t = Trace()
     t.enabled = False
     assert t.emit("c", "s") is None
     assert t.count() == 0
+
+
+def test_disabled_trace_does_not_notify_listeners():
+    t = Trace()
+    seen = []
+    t.subscribe("", seen.append)
+    t.enabled = False
+    t.emit("c", "s")
+    assert seen == []
+    t.enabled = True
+    t.emit("c", "s")
+    assert len(seen) == 1
+
+
+def test_record_to_dict_from_dict_roundtrip():
+    rec = TraceRecord(time=1.25, category="dot11.assoc", source="victim",
+                      detail={"bssid": "aa:bb", "ok": True})
+    data = rec.to_dict()
+    assert data == {"time": 1.25, "category": "dot11.assoc",
+                    "source": "victim", "detail": {"bssid": "aa:bb", "ok": True}}
+    clone = TraceRecord.from_dict(data)
+    assert clone == rec
+    # the dict is a copy: mutating it can't reach back into the record
+    data["detail"]["ok"] = False
+    assert rec.detail["ok"] is True
+
+
+def test_trace_to_dicts_from_dicts_roundtrip():
+    sim = Simulator(seed=0)
+    sim.schedule(1.0, sim.trace.emit, "a.x", "s1", k=1)
+    sim.schedule(2.0, sim.trace.emit, "b.y", "s2")
+    sim.run()
+    clone = Trace.from_dicts(sim.trace.to_dicts())
+    assert clone.records == sim.trace.records
+    assert clone.count("a") == 1
+
+
+def test_trace_summary():
+    sim = Simulator(seed=0)
+    sim.schedule(1.0, sim.trace.emit, "a.x", "s")
+    sim.schedule(2.0, sim.trace.emit, "a.x", "s")
+    sim.schedule(3.0, sim.trace.emit, "b.y", "s")
+    sim.run()
+    assert sim.trace.summary() == {
+        "n": 3, "by_category": {"a.x": 2, "b.y": 1},
+        "t_first": 1.0, "t_last": 3.0,
+    }
+    assert Trace().summary() == {"n": 0, "by_category": {},
+                                 "t_first": None, "t_last": None}
 
 
 def test_dump_is_readable():
