@@ -18,6 +18,7 @@ from typing import Optional
 from repro.dot11.frames import ReasonCode, make_deauth
 from repro.dot11.mac import BROADCAST, MacAddress
 from repro.dot11.seqctl import SequenceCounter
+from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
 from repro.sim.kernel import Simulator
@@ -83,3 +84,6 @@ class DeauthAttacker:
                             seq=self.seqctl.next())
         self.port.transmit(frame)
         self.frames_injected += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("attack.deauth.injected")

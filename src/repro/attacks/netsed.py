@@ -26,6 +26,7 @@ from typing import Callable, Optional
 from repro.hosts.host import Host
 from repro.netstack.addressing import IPv4Address
 from repro.netstack.tcp import TcpConnection
+from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ConfigurationError
 
 __all__ = ["NetsedProxy", "NetsedRule", "StreamingRewriter", "parse_rule"]
@@ -159,6 +160,9 @@ class NetsedProxy:
     # ------------------------------------------------------------------
     def _on_client(self, client: TcpConnection) -> None:
         self.connections_proxied += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("attack.netsed.connections")
         upstream = self.host.tcp_connect(self.target_ip, self.target_port)
         down_rw = self._make_rewriter()          # server -> client direction
         up_rw = self._make_rewriter() if self.rewrite_upstream else None
@@ -196,6 +200,11 @@ class NetsedProxy:
             self.total_replacements += down_rw.replacements
             if up_rw is not None:
                 self.total_replacements += up_rw.replacements
+            m = obs_metrics()
+            if m is not None:
+                rewrites = down_rw.replacements + (up_rw.replacements if up_rw else 0)
+                if rewrites:
+                    m.incr("attack.netsed.rewrites", rewrites)
             if down_rw.replacements:
                 self.host.sim.trace.emit("netsed.rewrite", self.host.name,
                                          replacements=down_rw.replacements,

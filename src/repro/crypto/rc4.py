@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.obs.runtime import active_profiler
+
 __all__ = ["RC4", "rc4_keystream", "ksa", "prga"]
 
 
@@ -79,6 +81,13 @@ class RC4:
 
     def crypt(self, data: bytes) -> bytes:
         """XOR ``data`` with the next keystream bytes (encrypt == decrypt)."""
+        prof = active_profiler()
+        if prof is None:
+            return self._crypt(data)
+        with prof.span("crypto.rc4"):
+            return self._crypt(data)
+
+    def _crypt(self, data: bytes) -> bytes:
         g = self._gen
         return bytes(b ^ next(g) for b in data)
 

@@ -21,6 +21,7 @@ from repro.dot11.capture import FrameCapture
 from repro.dot11.frames import FrameSubtype
 from repro.dot11.mac import MacAddress
 from repro.dot11.seqctl import SEQ_MODULO, SequenceCounter
+from repro.obs.runtime import obs_metrics
 
 __all__ = ["SeqCtlMonitor", "SpoofVerdict"]
 
@@ -97,6 +98,12 @@ class SeqCtlMonitor:
             spoofed = True
             reason = (f"interleaved sequence streams: {anomalies} anomalous "
                       f"gaps in {len(seqs)} frames")
+        m = obs_metrics()
+        if m is not None:
+            m.incr("detect.analyses")
+            m.incr("detect.anomalies", anomalies)
+            if spoofed:
+                m.incr("detect.flagged")
         return SpoofVerdict(
             transmitter=mac,
             frames=len(seqs),

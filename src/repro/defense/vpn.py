@@ -40,6 +40,7 @@ from repro.netstack.addressing import IPv4Address, Network
 from repro.netstack.ipv4 import IPv4Packet
 from repro.netstack.routing import Route
 from repro.netstack.tcp import TcpConnection
+from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ConfigurationError, ProtocolError
 
 __all__ = ["VpnClient", "VpnServer", "SshRecordLayer"]
@@ -97,6 +98,9 @@ class SshRecordLayer:
         self.replays_dropped = 0
 
     def seal(self, plaintext: bytes) -> bytes:
+        m = obs_metrics()
+        if m is not None:
+            m.incr("vpn.records_sealed")
         seq = struct.pack(">I", self._tx_seq)
         self._tx_seq += 1
         ciphertext = self._tx_cipher.crypt(plaintext)
@@ -112,18 +116,27 @@ class SshRecordLayer:
         order unless an on-path attacker modified them — in which case
         the session is torn down (as real SSH does on MAC failure).
         """
+        m = obs_metrics()
         if len(record) < 4 + MAC_LEN:
             self.integrity_failures += 1
+            if m is not None:
+                m.incr("vpn.hmac_failures")
             return None
         seq_bytes, ciphertext, mac = record[:4], record[4:-MAC_LEN], record[-MAC_LEN:]
         if not constant_time_equal(hmac_sha1(self._mac_rx_key, seq_bytes + ciphertext), mac):
             self.integrity_failures += 1
+            if m is not None:
+                m.incr("vpn.hmac_failures")
             return None
         (seq,) = struct.unpack(">I", seq_bytes)
         if seq != self._rx_seq:
             self.replays_dropped += 1
+            if m is not None:
+                m.incr("vpn.replays_dropped")
             return None
         self._rx_seq += 1
+        if m is not None:
+            m.incr("vpn.records_opened")
         return self._rx_cipher.crypt(ciphertext)
 
 

@@ -32,6 +32,7 @@ from repro.dot11.ies import (
     ssid_ie,
 )
 from repro.dot11.mac import BROADCAST, MacAddress
+from repro.obs.runtime import active_profiler, obs_metrics
 from repro.sim.errors import ProtocolError
 
 __all__ = [
@@ -183,6 +184,16 @@ class Dot11Frame:
     # serialization
     # ------------------------------------------------------------------
     def to_bytes(self, with_fcs: bool = True) -> bytes:
+        prof = active_profiler()
+        if prof is None:
+            return self._encode(with_fcs)
+        with prof.span("codec.frame.encode"):
+            return self._encode(with_fcs)
+
+    def _encode(self, with_fcs: bool) -> bytes:
+        m = obs_metrics()
+        if m is not None:
+            m.incr("dot11.frames_encoded")
         ftype = self.frame_type
         fc0 = (ftype.value << 2) | (self.subtype.subtype_bits << 4)
         fc1 = 0
@@ -212,6 +223,17 @@ class Dot11Frame:
 
     @classmethod
     def from_bytes(cls, raw: bytes, with_fcs: bool = True) -> "Dot11Frame":
+        prof = active_profiler()
+        if prof is None:
+            return cls._decode(raw, with_fcs)
+        with prof.span("codec.frame.decode"):
+            return cls._decode(raw, with_fcs)
+
+    @classmethod
+    def _decode(cls, raw: bytes, with_fcs: bool) -> "Dot11Frame":
+        m = obs_metrics()
+        if m is not None:
+            m.incr("dot11.frames_decoded")
         if with_fcs:
             if len(raw) < HEADER_LEN + FCS_LEN:
                 raise ProtocolError("frame too short")

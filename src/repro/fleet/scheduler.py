@@ -33,7 +33,10 @@ from repro.core.campaign import TrialStats
 from repro.fleet.errors import (FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT,
                                 FleetError, TrialFailure)
 from repro.fleet.reduce import campaign_stats
-from repro.fleet.worker import TrialOutcome, _TrialTimeout, run_one, worker_main
+from repro.fleet.worker import (MetricsCollectingTrial, TrialOutcome,
+                                _TrialTimeout, outcome_extra, run_one,
+                                worker_main)
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CampaignResult", "run_campaign"]
 
@@ -51,7 +54,9 @@ class CampaignResult:
 
     ``per_index`` maps trial index → value for every trial that
     succeeded; ``failures`` lists every trial that failed all attempts;
-    ``traces`` maps seed → serialized trace records for sampled seeds.
+    ``traces`` maps seed → serialized trace records for sampled seeds;
+    ``metrics`` maps seed → per-trial metrics snapshot when the campaign
+    ran with ``collect_metrics=True``.
     """
 
     n: int
@@ -61,6 +66,7 @@ class CampaignResult:
     per_index: Dict[int, Any] = field(default_factory=dict)
     failures: List[TrialFailure] = field(default_factory=list)
     traces: Dict[int, List[dict]] = field(default_factory=dict)
+    metrics: Dict[int, dict] = field(default_factory=dict)
 
     @property
     def per_seed(self) -> Dict[int, Any]:
@@ -84,8 +90,26 @@ class CampaignResult:
         total = self.ok + len(self.failures)
         return total / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def merged_metrics(self) -> Optional[MetricsRegistry]:
+        """All per-trial registries folded together, in seed order.
+
+        Seed-order reduction makes the merged registry independent of
+        which worker ran which trial and of completion order — the same
+        contract :func:`~repro.fleet.reduce.campaign_stats` upholds for
+        numeric results.  ``None`` when the campaign collected no
+        metrics.
+        """
+        if not self.metrics:
+            return None
+        merged = MetricsRegistry()
+        for seed in sorted(self.metrics):
+            merged.merge(MetricsRegistry.from_snapshot(self.metrics[seed]))
+        return merged
+
     def to_json_dict(self) -> dict:
         """JSON-shaped summary used by ``python -m repro sweep --json``."""
+        merged = self.merged_metrics
         return {
             "trials": self.n,
             "seed_base": self.seed_base,
@@ -96,13 +120,15 @@ class CampaignResult:
                         for seed, value in self.per_seed.items()],
             "failures": [f.to_dict() for f in self.failures],
             "traces": {str(seed): recs for seed, recs in sorted(self.traces.items())},
+            "metrics": merged.snapshot() if merged is not None else None,
         }
 
 
 def run_campaign(n: int, trial: Callable[[int], Any], *,
                  seed_base: int = 1000, workers: int = 1,
                  timeout: Optional[float] = None, retries: int = 1,
-                 sample_traces: int = 0) -> CampaignResult:
+                 sample_traces: int = 0,
+                 collect_metrics: bool = False) -> CampaignResult:
     """Run ``trial(seed)`` for ``n`` seeds, sharded over ``workers`` processes.
 
     Parameters
@@ -126,19 +152,26 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
     sample_traces:
         Ship serialized traces for the first ``k`` seeds (only for
         trials returning :class:`TrialOutcome` with a trace attached).
+    collect_metrics:
+        Run every trial inside a fresh observability context and ship
+        each trial's :class:`MetricsRegistry` snapshot to the parent
+        (see :attr:`CampaignResult.merged_metrics`).  Purely
+        observational — trial values are unchanged.
     """
     if n < 0:
         raise FleetError(f"trial count must be >= 0, got {n}")
     if retries < 0:
         raise FleetError(f"retries must be >= 0, got {retries}")
+    if collect_metrics:
+        trial = MetricsCollectingTrial(trial)
     trace_indices = frozenset(range(min(max(sample_traces, 0), n)))
     started = time.perf_counter()
     if workers <= 1 or n <= 1:
-        per_index, failures, traces = _run_serial(
+        per_index, failures, traces, metrics = _run_serial(
             n, trial, seed_base, timeout, retries, trace_indices)
         workers = 1
     else:
-        per_index, failures, traces = _run_parallel(
+        per_index, failures, traces, metrics = _run_parallel(
             n, trial, seed_base, min(workers, n), timeout, retries,
             trace_indices)
     return CampaignResult(
@@ -146,7 +179,8 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
         elapsed_s=time.perf_counter() - started,
         per_index=per_index,
         failures=sorted(failures, key=lambda f: f.index),
-        traces={seed_base + i: recs for i, recs in sorted(traces.items())})
+        traces={seed_base + i: recs for i, recs in sorted(traces.items())},
+        metrics={seed_base + i: snap for i, snap in sorted(metrics.items())})
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +191,7 @@ def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
     per_index: Dict[int, Any] = {}
     failures: List[TrialFailure] = []
     traces: Dict[int, List[dict]] = {}
+    metrics: Dict[int, dict] = {}
     for index in range(n):
         for attempt in range(1, retries + 2):
             try:
@@ -169,15 +204,19 @@ def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
                 value = outcome
                 if isinstance(outcome, TrialOutcome):
                     value = outcome.value
-                    if index in trace_indices and outcome.trace is not None:
-                        traces[index] = outcome.trace.to_dicts()
+                    extra = outcome_extra(outcome, index in trace_indices)
+                    if extra is not None:
+                        if "trace" in extra:
+                            traces[index] = extra["trace"]
+                        if "metrics" in extra:
+                            metrics[index] = extra["metrics"]
                 per_index[index] = value
                 break
             if attempt == retries + 1:
                 failures.append(TrialFailure(
                     seed=seed_base + index, index=index, kind=kind,
                     message=message, attempts=attempt))
-    return per_index, failures, traces
+    return per_index, failures, traces, metrics
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +255,7 @@ class _Fleet:
         self.per_index: Dict[int, Any] = {}
         self.failures: List[TrialFailure] = []
         self.traces: Dict[int, List[dict]] = {}
+        self.metrics: Dict[int, dict] = {}
         self.resolved: set[int] = set()
         self._next_worker_id = 0
         self._last_progress = time.monotonic()
@@ -247,13 +287,16 @@ class _Fleet:
         proc.join(timeout=1.0)
 
     # -- per-trial resolution ------------------------------------------
-    def _record_success(self, index, value, trace_dicts) -> None:
+    def _record_success(self, index, value, extra) -> None:
         if index in self.resolved:
             return  # stale duplicate (e.g. retry raced a watchdog kill)
         self.resolved.add(index)
         self.per_index[index] = value
-        if trace_dicts is not None:
-            self.traces[index] = trace_dicts
+        if extra is not None:
+            if "trace" in extra:
+                self.traces[index] = extra["trace"]
+            if "metrics" in extra:
+                self.metrics[index] = extra["metrics"]
 
     def _record_failed_attempt(self, index, kind, message) -> None:
         if index in self.resolved:
@@ -371,7 +414,7 @@ class _Fleet:
                     self._police_workers()
                     continue
                 self._handle(message)
-            return self.per_index, self.failures, self.traces
+            return self.per_index, self.failures, self.traces, self.metrics
         finally:
             self._shutdown()
 

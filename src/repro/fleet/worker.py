@@ -10,9 +10,14 @@ respawned at any moment without losing campaign state.
 Wire protocol (all messages are 5-tuples on the result queue)::
 
     ("start", worker_id, index, None, None)        # about to run index
-    ("ok",    worker_id, index, value, traces)     # traces: list[dict] | None
+    ("ok",    worker_id, index, value, extra)      # extra: dict | None
     ("fail",  worker_id, index, kind, message)     # kind: "error" | "timeout"
     ("bye",   worker_id, None,  None, None)        # clean shutdown
+
+``extra`` on an ``"ok"`` message is ``None`` or a dict with optional
+keys ``"trace"`` (serialized trace records for sampled seeds) and
+``"metrics"`` (the trial's :class:`MetricsRegistry` snapshot when the
+campaign collects metrics).
 
 ``"start"`` always precedes the matching ``"ok"``/``"fail"`` and the
 queue preserves per-worker ordering, so the parent always knows which
@@ -26,9 +31,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, FrozenSet, Optional
 
 from repro.fleet.errors import FAIL_ERROR, FAIL_TIMEOUT
+from repro.obs.runtime import collecting
 from repro.sim.trace import Trace
 
-__all__ = ["TrialOutcome", "run_one", "worker_main"]
+__all__ = ["MetricsCollectingTrial", "TrialOutcome", "run_one", "worker_main"]
 
 
 @dataclass
@@ -40,10 +46,40 @@ class TrialOutcome:
     world's :class:`~repro.sim.trace.Trace`.  For seeds the campaign was
     asked to sample (``sample_traces=k``), the worker serializes the
     trace with :meth:`TraceRecord.to_dict` and ships it to the parent.
+
+    ``metrics`` carries the trial's observability snapshot
+    (:meth:`MetricsRegistry.snapshot`); it is normally attached by
+    :class:`MetricsCollectingTrial` rather than by the trial itself.
     """
 
     value: Any
     trace: Optional[Trace] = None
+    metrics: Optional[dict] = None
+
+
+class MetricsCollectingTrial:
+    """Picklable wrapper that runs a trial inside a metrics context.
+
+    The wrapped trial executes under :func:`repro.obs.runtime.collecting`,
+    so every instrumented hot point in the stack records into a fresh
+    per-trial registry; the snapshot ships to the parent on the trial's
+    ``TrialOutcome``.  Collection is observational only, so the trial's
+    value is identical with or without the wrapper (the fleet's
+    determinism contract extends to metrics: parent-side seed-order
+    merge == one serial registry).
+    """
+
+    def __init__(self, trial: Callable[[int], Any]) -> None:
+        self.trial = trial
+
+    def __call__(self, seed: int) -> "TrialOutcome":
+        with collecting() as col:
+            result = self.trial(seed)
+        snapshot = col.snapshot()
+        if isinstance(result, TrialOutcome):
+            result.metrics = snapshot
+            return result
+        return TrialOutcome(value=result, metrics=snapshot)
 
 
 class _TrialTimeout(Exception):
@@ -95,9 +131,18 @@ def worker_main(worker_id: int, trial: Callable[[int], Any], seed_base: int,
             result_queue.put(("fail", worker_id, index, FAIL_ERROR,
                               f"{type(exc).__name__}: {exc}"))
             continue
-        value, trace_dicts = outcome, None
+        value, extra = outcome, None
         if isinstance(outcome, TrialOutcome):
             value = outcome.value
-            if index in trace_indices and outcome.trace is not None:
-                trace_dicts = outcome.trace.to_dicts()
-        result_queue.put(("ok", worker_id, index, value, trace_dicts))
+            extra = outcome_extra(outcome, index in trace_indices)
+        result_queue.put(("ok", worker_id, index, value, extra))
+
+
+def outcome_extra(outcome: TrialOutcome, ship_trace: bool) -> Optional[dict]:
+    """Build the ``extra`` slot of an ``"ok"`` message (None when empty)."""
+    extra: dict = {}
+    if ship_trace and outcome.trace is not None:
+        extra["trace"] = outcome.trace.to_dicts()
+    if outcome.metrics is not None:
+        extra["metrics"] = outcome.metrics
+    return extra or None

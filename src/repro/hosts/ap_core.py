@@ -40,6 +40,7 @@ from repro.crypto.tkip import TkipError
 from repro.hosts.nic import Interface
 from repro.hosts.wpa_link import ETHERTYPE_EAPOL, ApWpaSession
 from repro.netstack.ethernet import llc_decap, llc_encap
+from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
 from repro.sim.errors import ProtocolError
@@ -368,6 +369,9 @@ class ApCore:
         self._next_aid += 1
         self.associations_granted += 1
         self.sim.trace.emit("dot11.ap_assoc", self.name, sta=str(sta))
+        m = obs_metrics()
+        if m is not None:
+            m.incr("dot11.ap_associations")
         self.port.transmit(make_assoc_response(
             self.bssid, sta, status=StatusCode.SUCCESS, aid=state.aid,
             privacy=self.privacy, seq=self.seqctl.next()))

@@ -34,6 +34,7 @@ from repro.crypto.wep import WepKey, IvGenerator, wep_decrypt, wep_encrypt, WepE
 from repro.netstack.addressing import IPv4Address, Network
 from repro.netstack.ethernet import EthernetFrame, WiredPort, llc_decap, llc_encap
 from repro.netstack.ipv4 import IPv4Packet
+from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
 from repro.sim.errors import ConfigurationError, ProtocolError
@@ -418,6 +419,9 @@ class WirelessInterface(Interface):
         self._watch_beacons()
         self.sim.trace.emit("dot11.assoc", self.name,
                             bssid=str(self.bssid), channel=self.channel)
+        m = obs_metrics()
+        if m is not None:
+            m.incr("dot11.sta_associations")
         if self.on_associated is not None:
             self.on_associated(self.bssid, self.channel)
 
@@ -595,6 +599,9 @@ class WirelessInterface(Interface):
             reason = int(ReasonCode.UNSPECIFIED)
         self.sim.trace.emit("dot11.deauth_rx", self.name,
                             bssid=str(frame.addr2), reason=reason)
+        m = obs_metrics()
+        if m is not None:
+            m.incr("dot11.deauths_received")
         self._record_failure()
         if self.on_deauthenticated is not None:
             self.on_deauthenticated(reason)

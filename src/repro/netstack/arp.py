@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.dot11.mac import MacAddress
 from repro.netstack.addressing import IPv4Address
+from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ProtocolError
 
 __all__ = ["ArpOp", "ArpPacket", "ArpTable"]
@@ -101,11 +102,21 @@ class ArpTable:
         self._entries: dict[IPv4Address, tuple[MacAddress, float]] = {}
 
     def learn(self, ip: IPv4Address, mac: MacAddress, now: float) -> None:
+        m = obs_metrics()
+        if m is not None:
+            m.incr("arp.learned")
+            prior = self._entries.get(ip)
+            if prior is not None and prior[0] != mac:
+                # The unconditional-overwrite behaviour poisoning exploits.
+                m.incr("arp.overwrites")
         self._entries[ip] = (mac, now + self.ttl_s)
 
     def lookup(self, ip: IPv4Address, now: float) -> Optional[MacAddress]:
         entry = self._entries.get(ip)
         if entry is None:
+            m = obs_metrics()
+            if m is not None:
+                m.incr("arp.lookup_misses")
             return None
         mac, expiry = entry
         if now >= expiry:

@@ -25,6 +25,7 @@ from repro.netstack.addressing import IPv4Address, Network
 from repro.netstack.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
 from repro.netstack.tcp import TcpSegment
 from repro.netstack.udp import UdpDatagram
+from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ConfigurationError
 
 __all__ = [
@@ -402,9 +403,14 @@ class Netfilter:
         """
         self.counters[chain] += 1
         natted = False
+        m = obs_metrics()
+        if m is not None:
+            m.incr("netfilter.traversals")
         if nat and chain in (Chain.PREROUTING, Chain.OUTPUT, Chain.POSTROUTING):
             translated = self.conntrack.translate(packet, now)
             if translated is not None:
+                if m is not None:
+                    m.incr("netfilter.conntrack_hits")
                 return Verdict.ACCEPT, translated, True
         for rule in self.chains[chain]:
             if not rule.matches(packet, in_iface=in_iface, out_iface=out_iface):
@@ -414,6 +420,8 @@ class Netfilter:
                 return Verdict.ACCEPT, packet, natted
             if isinstance(target, TargetDrop):
                 self.dropped += 1
+                if m is not None:
+                    m.incr("netfilter.drops")
                 return Verdict.DROP, packet, natted
             if isinstance(target, (TargetDnat, TargetRedirect, TargetSnat)):
                 if not nat:
@@ -428,6 +436,10 @@ class Netfilter:
                                                        target.to_port, now)
                 else:
                     packet = self.conntrack.track_snat(packet, target.to_ip, now)
+                if m is not None:
+                    m.incr("netfilter.snat_hits" if isinstance(target, TargetSnat)
+                           else "netfilter.dnat_hits")
+                    m.set_gauge("netfilter.conntrack_entries", len(self.conntrack))
                 return Verdict.ACCEPT, packet, True
         return Verdict.ACCEPT, packet, natted  # default policy ACCEPT
 

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 from repro.netstack.addressing import IPv4Address
 from repro.netstack.ipv4 import PROTO_TCP, internet_checksum
+from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ProtocolError, SocketError
 from repro.sim.kernel import Event, Simulator
 
@@ -332,6 +333,10 @@ class TcpConnection:
         )
         self.segments_sent += 1
         self.bytes_sent += len(payload)
+        m = obs_metrics()
+        if m is not None:
+            m.incr("tcp.segments_sent")
+            m.incr("tcp.bytes_sent", len(payload))
         self._send_segment(seg)
 
     def _send_ack(self) -> None:
@@ -391,6 +396,9 @@ class TcpConnection:
             return
         self.timeouts += 1
         self._consecutive_timeouts += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("tcp.timeouts")
         if self._consecutive_timeouts > 15:
             # Give up, as real stacks do after ~tcp_retries2 attempts.
             self._teardown(reset=True)
@@ -407,6 +415,9 @@ class TcpConnection:
     def _retransmit_front(self) -> None:
         """Resend whatever starts at snd_una (SYN, FIN, or data)."""
         self.retransmissions += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("tcp.retransmits")
         if self.state is TcpState.SYN_SENT:
             self._transmit(FLAG_SYN, self.iss, b"")
             return
@@ -425,6 +436,9 @@ class TcpConnection:
     def handle_segment(self, segment: TcpSegment) -> None:
         """Process one incoming segment addressed to this connection."""
         self.segments_received += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("tcp.segments_received")
         if segment.flags & FLAG_RST:
             self._handle_rst(segment)
             return
@@ -508,6 +522,9 @@ class TcpConnection:
             if self._dupacks == self.DUPACK_THRESHOLD:
                 # Fast retransmit / simplified fast recovery.
                 self.fast_retransmits += 1
+                m = obs_metrics()
+                if m is not None:
+                    m.incr("tcp.fast_retransmits")
                 self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
                 self.cwnd = self.ssthresh
                 self._retransmit_front()
@@ -586,6 +603,9 @@ class TcpConnection:
     # RTT estimation (Jacobson/Karels)
     # ------------------------------------------------------------------
     def _update_rtt(self, sample: float) -> None:
+        m = obs_metrics()
+        if m is not None:
+            m.add_time("tcp.rtt", sample)
         if self.srtt is None:
             self.srtt = sample
             self.rttvar = sample / 2.0

@@ -1,0 +1,41 @@
+"""Simulation-wide observability: metrics, profiling spans, export.
+
+Three pieces (see DESIGN.md §8):
+
+* :mod:`repro.obs.metrics` — a hierarchical :class:`MetricsRegistry`
+  of mergeable counters/gauges/timers/histograms, instrumented at the
+  hot points of the radio, netstack, dot11, hosts, attack, and defense
+  layers;
+* :mod:`repro.obs.profiler` — wall-clock :class:`Profiler` spans around
+  kernel event dispatch and the known hot paths (radio fan-out,
+  RC4/FMS, the frame codec);
+* :mod:`repro.obs.runtime` — the ambient :func:`collecting` context
+  that turns the instrumentation on.  When no context is active every
+  hook short-circuits, and the hard invariant holds: simulated results
+  are bit-for-bit identical with observability enabled, disabled, or
+  absent.
+
+The registry obeys the ``merge()`` law of :mod:`repro.sim.stats`, so
+:mod:`repro.fleet` ships one snapshot per trial and reduces them in
+seed order (``python -m repro sweep --metrics out.json``); a one-shot
+profile of any registered experiment is ``python -m repro profile EXP``.
+"""
+
+from repro.obs.metrics import (CounterMetric, GaugeMetric, HistogramMetric,
+                               MetricsRegistry, TimerMetric)
+from repro.obs.profiler import Profiler
+from repro.obs.runtime import (Collection, active_profiler, collecting,
+                               obs_metrics)
+
+__all__ = [
+    "Collection",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "Profiler",
+    "TimerMetric",
+    "active_profiler",
+    "collecting",
+    "obs_metrics",
+]

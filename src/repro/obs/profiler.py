@@ -1,0 +1,151 @@
+"""Wall-clock profiling spans with a per-category time/count breakdown.
+
+The profiler answers "where does the *runtime* go" (as opposed to the
+metrics registry's "what did the *simulation* do").  Spans are cheap
+category-labelled stopwatches around the known hot paths — kernel event
+dispatch, radio fan-out, RC4/FMS, the frame codec — accumulated into
+``(count, total, min, max)`` per category.
+
+Wall-clock readings never feed back into the simulation, so profiling
+cannot perturb simulated results; it is also mergeable (counts and
+totals add), so fleet workers can ship per-trial breakdowns for the
+parent to reduce alongside the metrics snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Per-category wall-clock accumulator.
+
+    Categories are dotted names like ``kernel.radio.medium`` or
+    ``crypto.rc4``.  Use :meth:`span` as a context manager around the
+    timed region, or :meth:`record` with an externally measured
+    duration.
+    """
+
+    def __init__(self) -> None:
+        # category -> [count, total_s, min_s, max_s]
+        self._acc: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, category: str) -> Iterator[None]:
+        """Time a ``with`` block under ``category``."""
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.record(category, perf_counter() - t0)
+
+    def record(self, category: str, seconds: float) -> None:
+        acc = self._acc.get(category)
+        if acc is None:
+            self._acc[category] = [1, seconds, seconds, seconds]
+            return
+        acc[0] += 1
+        acc[1] += seconds
+        if seconds < acc[2]:
+            acc[2] = seconds
+        if seconds > acc[3]:
+            acc[3] = seconds
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def categories(self) -> list[str]:
+        return sorted(self._acc)
+
+    def count(self, category: str) -> int:
+        acc = self._acc.get(category)
+        return int(acc[0]) if acc else 0
+
+    def total_s(self, category: str) -> float:
+        acc = self._acc.get(category)
+        return acc[1] if acc else 0.0
+
+    def mean_s(self, category: str) -> float:
+        acc = self._acc.get(category)
+        return acc[1] / acc[0] if acc else math.nan
+
+    def grand_total_s(self) -> float:
+        return sum(acc[1] for acc in self._acc.values())
+
+    def __len__(self) -> int:
+        return len(self._acc)
+
+    def __iter__(self) -> Iterator[Tuple[str, int, float]]:
+        """(category, count, total_s) triples, largest total first."""
+        for category in sorted(self._acc,
+                               key=lambda c: (-self._acc[c][1], c)):
+            acc = self._acc[category]
+            yield category, int(acc[0]), acc[1]
+
+    # ------------------------------------------------------------------
+    # merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "Profiler") -> "Profiler":
+        """Fold another profiler's accumulators in (returns self)."""
+        for category, acc in other._acc.items():
+            mine = self._acc.get(category)
+            if mine is None:
+                self._acc[category] = list(acc)
+            else:
+                mine[0] += acc[0]
+                mine[1] += acc[1]
+                mine[2] = min(mine[2], acc[2])
+                mine[3] = max(mine[3], acc[3])
+        return self
+
+    def to_dict(self) -> dict:
+        return {category: {"count": int(acc[0]), "total_s": acc[1],
+                           "min_s": acc[2], "max_s": acc[3]}
+                for category, acc in sorted(self._acc.items())}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Profiler":
+        prof = cls()
+        for category, acc in data.items():
+            prof._acc[category] = [int(acc["count"]), float(acc["total_s"]),
+                                   float(acc["min_s"]), float(acc["max_s"])]
+        return prof
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def breakdown(self) -> list[dict]:
+        """Rows for the ``repro profile`` table, largest total first."""
+        grand = self.grand_total_s()
+        rows = []
+        for category, count, total in self:
+            rows.append({
+                "category": category,
+                "calls": count,
+                "total_ms": round(total * 1e3, 3),
+                "mean_us": round(total / count * 1e6, 2) if count else 0.0,
+                "share": f"{(total / grand * 100.0) if grand else 0.0:.1f}%",
+            })
+        return rows
+
+    def report(self) -> str:
+        """Aligned per-category time/count breakdown."""
+        rows = self.breakdown()
+        if not rows:
+            return "(no spans recorded)"
+        headers = ["category", "calls", "total_ms", "mean_us", "share"]
+        table = [[str(r[h]) for h in headers] for r in rows]
+        widths = [max(len(h), *(len(row[i]) for row in table))
+                  for i, h in enumerate(headers)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        for row in table:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""The ambient collection context that instrumentation reports into.
+
+Hot-path code asks two questions, both answered here in a handful of
+machine instructions when observability is off:
+
+* :func:`obs_metrics` — the active :class:`MetricsRegistry`, or ``None``
+  when collection is absent/disabled.  Call sites guard with
+  ``m = obs_metrics()`` / ``if m is not None: m.incr(...)`` so the
+  common (off) path costs one global read and one comparison.
+* :func:`active_profiler` — the active :class:`Profiler` or ``None``;
+  call sites only open a span when one is installed.
+
+A context is installed with :func:`collecting`::
+
+    with collecting(profile=True) as col:
+        result = spec.runner()          # any number of Simulators inside
+    print(col.profiler.report())
+    payload = col.snapshot()            # mergeable metrics dict
+
+Contexts nest (the innermost wins) and are restored on exit even when
+the body raises — including the fleet worker's SIGALRM trial timeout.
+The simulation never reads anything back out of the context, so
+entering one cannot change simulated results (the zero-perturbation
+invariant pinned by the determinism golden tests).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profiler
+
+__all__ = ["Collection", "active_profiler", "collecting", "obs_metrics"]
+
+
+class Collection:
+    """One observability session: a registry plus an optional profiler."""
+
+    def __init__(self, *, metrics: bool = True, profile: bool = False) -> None:
+        self.registry = MetricsRegistry(enabled=metrics)
+        self.profiler: Optional[Profiler] = Profiler() if profile else None
+
+    def snapshot(self) -> dict:
+        """The registry's mergeable snapshot (see ``MetricsRegistry``)."""
+        return self.registry.snapshot()
+
+
+_active: Optional[Collection] = None
+
+
+@contextmanager
+def collecting(*, metrics: bool = True, profile: bool = False) -> Iterator[Collection]:
+    """Install a fresh :class:`Collection` for the duration of the block.
+
+    ``metrics=False`` installs a *disabled* registry: instrumentation
+    still finds a context but every recording call is a no-op — the
+    "disabled" leg of the zero-perturbation golden tests.
+    """
+    global _active
+    previous = _active
+    collection = Collection(metrics=metrics, profile=profile)
+    _active = collection
+    try:
+        yield collection
+    finally:
+        _active = previous
+
+
+def obs_metrics() -> Optional[MetricsRegistry]:
+    """The active, enabled registry — or ``None`` (record nothing)."""
+    collection = _active
+    if collection is None or not collection.registry.enabled:
+        return None
+    return collection.registry
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The active profiler — or ``None`` (skip the span)."""
+    collection = _active
+    return collection.profiler if collection is not None else None

@@ -22,6 +22,7 @@ from typing import Callable, Optional, Protocol
 
 from repro.dot11.channels import channel_rejection_db, channels_overlap
 from repro.dot11.frames import Dot11Frame
+from repro.obs.runtime import active_profiler, obs_metrics
 from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
 from repro.sim.errors import ConfigurationError
 from repro.sim.kernel import Simulator
@@ -128,6 +129,9 @@ class Medium:
             raise ConfigurationError(f"radio {port.name!r} already attached")
         self.ports.append(port)
         port.attach(self)
+        m = obs_metrics()
+        if m is not None:
+            m.set_gauge("radio.ports", len(self.ports))
         return port
 
     def detach(self, port: RadioPort) -> None:
@@ -163,6 +167,11 @@ class Medium:
                     start = until
             if start > now:
                 start += self._rng.uniform(50e-6, 400e-6)  # DIFS + backoff slots
+        m = obs_metrics()
+        if m is not None:
+            m.incr("radio.transmissions")
+            if start > now:
+                m.incr("radio.deferrals")
         self._busy_until[tx_port.channel] = max(
             self._busy_until.get(tx_port.channel, 0.0), start + duration
         )
@@ -208,9 +217,18 @@ class Medium:
 
     def _complete(self, entry: _InFlight) -> None:
         """Deliver a finished transmission to every eligible receiver."""
+        prof = active_profiler()
+        if prof is None:
+            self._fan_out(entry)
+        else:
+            with prof.span("radio.fanout"):
+                self._fan_out(entry)
+
+    def _fan_out(self, entry: _InFlight) -> None:
         if entry in self._inflight:
             self._inflight.remove(entry)
         tx_port = entry.port
+        m = obs_metrics()
         for rx in self.ports:
             if rx is tx_port or not rx.enabled or rx.on_receive is None:
                 continue
@@ -222,13 +240,20 @@ class Medium:
                 continue
             if rx in entry.collided_at:
                 rx.rx_dropped_collision += 1
+                if m is not None:
+                    m.incr("radio.drops.collision")
                 continue
             p_ok = self.loss_model.success_probability(rssi)
             p_ok *= 1.0 - self._jamming_loss(entry.channel, rx)
             if not self._rng.bernoulli(p_ok):
                 rx.rx_dropped_loss += 1
+                if m is not None:
+                    m.incr("radio.drops.loss")
                 continue
             rx.rx_frames += 1
+            if m is not None:
+                m.incr("radio.deliveries")
+                m.observe("radio.rssi_dbm", rssi, lo=-100.0, hi=-20.0, bins=40)
             rx.on_receive(entry.frame, rssi, entry.channel)
 
     def _channel_rejection(self, tx_channel: int, rx: RadioPort) -> Optional[float]:

@@ -22,11 +22,26 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.obs.runtime import active_profiler
 from repro.sim.errors import SimulationError
 from repro.sim.rng import SimRandom
 from repro.sim.trace import Trace
 
 __all__ = ["Event", "ScheduleError", "Simulator"]
+
+
+def _dispatch_category(fn: Callable[..., Any]) -> str:
+    """Profiling category for an event callback: ``kernel.<module>``.
+
+    Grouping by the callback's defining module gives the per-subsystem
+    dispatch breakdown (``kernel.radio.medium``, ``kernel.netstack.tcp``,
+    ...) without requiring events to carry labels.
+    """
+    fn = getattr(fn, "__func__", fn)  # unwrap bound methods
+    module = getattr(fn, "__module__", None) or "unknown"
+    if module.startswith("repro."):
+        module = module[len("repro."):]
+    return "kernel." + module
 
 
 class ScheduleError(SimulationError):
@@ -214,7 +229,12 @@ class Simulator:
                 raise SimulationError("event queue corrupted: time went backwards")
             self._now = ev.time
             self._events_dispatched += 1
-            ev.fn(*ev.args, **ev.kwargs)
+            prof = active_profiler()
+            if prof is None:
+                ev.fn(*ev.args, **ev.kwargs)
+            else:
+                with prof.span(_dispatch_category(ev.fn)):
+                    ev.fn(*ev.args, **ev.kwargs)
             return True
         return False
 

@@ -62,6 +62,9 @@ class Trace:
         self._listeners: list[tuple[str, Callable[[TraceRecord], None]]] = []
         self._clock: Callable[[], float] = lambda: 0.0
         self.enabled = True
+        #: (category, listener, exception) triples for callbacks that
+        #: raised during :meth:`emit`; contained, never re-raised.
+        self.listener_errors: list[tuple[str, Callable[[TraceRecord], None], Exception]] = []
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the time source (normally ``lambda: sim.now``)."""
@@ -79,9 +82,17 @@ class Trace:
         if self.capacity is not None and len(self.records) > self.capacity:
             # Drop the oldest half in one slice rather than one-at-a-time.
             del self.records[: self.capacity // 2]
-        for prefix, cb in self._listeners:
+        # Iterate a snapshot: a callback that (un)subscribes mid-emit must
+        # not shift later listeners out from under the loop, and whatever
+        # it changes only applies from the next emit on.
+        for prefix, cb in tuple(self._listeners):
             if category.startswith(prefix):
-                cb(rec)
+                try:
+                    cb(rec)
+                except Exception as exc:
+                    # Contain: one broken listener must not break the
+                    # emitter or starve the remaining listeners.
+                    self.listener_errors.append((category, cb, exc))
         return rec
 
     def subscribe(self, prefix: str, callback: Callable[[TraceRecord], None]) -> Callable[[], None]:

@@ -107,6 +107,74 @@ def test_spec_accepts_seed_distinguishes_runner_shapes():
     assert not spec_accepts_seed(get_experiment("E-NETSED"))  # runner(trials=...)
 
 
+def test_cli_profile_prints_breakdown_and_metrics(capsys):
+    assert main(["profile", "FIG1"]) == 0
+    out = capsys.readouterr().out
+    assert "profiling FIG1" in out
+    # the per-category wall-clock breakdown table
+    assert "category" in out and "calls" in out
+    assert "total_ms" in out and "share" in out
+    assert "kernel." in out  # event-dispatch spans by module
+    # the metrics registry listing
+    assert "counter" in out
+
+
+def test_cli_profile_unknown_experiment(capsys):
+    assert main(["profile", "E-NOPE"]) == 2
+    assert "E-NOPE" in capsys.readouterr().err
+
+
+def test_cli_profile_json_snapshot(tmp_path, capsys):
+    out_file = tmp_path / "profile.json"
+    assert main(["profile", "FIG1", "--json", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "FIG1"
+    assert payload["elapsed_s"] > 0
+    assert any(cat.startswith("kernel.") for cat in payload["profile"])
+    for acc in payload["profile"].values():
+        assert set(acc) == {"count", "total_s", "min_s", "max_s"}
+    for metric in payload["metrics"].values():
+        assert metric["kind"] in {"counter", "gauge", "timer", "histogram"}
+
+
+def test_cli_profile_malformed_json_path(tmp_path, capsys):
+    bad = tmp_path / "not-a-dir" / "profile.json"
+    assert main(["profile", "E-8021X", "--json", str(bad)]) == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_cli_sweep_metrics_json_schema(tmp_path, capsys):
+    out_file = tmp_path / "metrics.json"
+    assert main(["sweep", "FIG2", "--trials", "2", "--workers", "2",
+                 "--metrics", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "FIG2"
+    assert payload["trials"] == 2
+    names = set(payload["metrics"])
+    # the acceptance families: radio, tcp, netfilter, and attack counters
+    for family in ("radio.", "tcp.", "netfilter.", "attack."):
+        assert any(n.startswith(family) for n in names), family
+    for metric in payload["metrics"].values():
+        assert metric["kind"] in {"counter", "gauge", "timer", "histogram"}
+    # counters aggregated across both trials are positive
+    assert payload["metrics"]["radio.deliveries"]["value"] > 0
+
+
+def test_cli_sweep_metrics_malformed_path(tmp_path, capsys):
+    bad = tmp_path / "missing-dir" / "metrics.json"
+    assert main(["sweep", "E-8021X", "--trials", "2",
+                 "--metrics", str(bad)]) == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_cli_sweep_without_metrics_flag_ships_none(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    assert main(["sweep", "E-8021X", "--trials", "2",
+                 "--json", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["metrics"] is None  # collection off => nothing shipped
+
+
 def test_cli_report_writes_markdown(tmp_path, monkeypatch, capsys):
     """The report command runs the registry and writes a markdown file
     (patched down to one fast experiment to keep the test quick)."""

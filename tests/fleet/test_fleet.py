@@ -68,6 +68,18 @@ def traced_trial(seed):
     return TrialOutcome(value=float(seed), trace=trace)
 
 
+def metric_trial(seed):
+    """Records seed-dependent metrics through the ambient obs context."""
+    from repro.obs.runtime import obs_metrics
+    m = obs_metrics()
+    if m is not None:
+        m.incr("fleet.test.calls")
+        m.incr("fleet.test.seed_sum", seed)
+        m.set_gauge("fleet.test.last_seed", seed)
+        m.add_time("fleet.test.duration", float(seed) / 1000.0)
+    return float(seed)
+
+
 # ----------------------------------------------------------------------
 # determinism: worker count must not matter
 # ----------------------------------------------------------------------
@@ -170,6 +182,53 @@ def test_sampled_traces_ship_to_parent(workers):
         assert records[0].detail == {"seed": seed}
     # unsampled seeds still contribute values
     assert result.stats.values == [1000.0, 1001.0, 1002.0, 1003.0]
+
+
+# ----------------------------------------------------------------------
+# metrics shipping
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_collect_metrics_ships_per_trial_snapshots(workers):
+    result = run_campaign(4, metric_trial, workers=workers,
+                          collect_metrics=True)
+    assert sorted(result.metrics) == [1000, 1001, 1002, 1003]
+    for seed, snap in result.metrics.items():
+        assert snap["fleet.test.calls"]["value"] == 1
+        assert snap["fleet.test.seed_sum"]["value"] == seed
+        assert snap["fleet.test.last_seed"]["value"] == seed
+    # values are unchanged by collection
+    assert result.stats.values == [1000.0, 1001.0, 1002.0, 1003.0]
+
+
+def test_merged_metrics_obey_seed_order_gauge_law():
+    result = run_campaign(3, metric_trial, workers=2, collect_metrics=True)
+    merged = result.merged_metrics
+    assert merged.value("fleet.test.calls") == 3
+    assert merged.value("fleet.test.seed_sum") == 1000 + 1001 + 1002
+    # gauge: the last shard in *seed* order wins, not completion order
+    gauge = merged.get("fleet.test.last_seed")
+    assert gauge.value == 1002
+    assert (gauge.min, gauge.max) == (1000, 1002)
+    timer = merged.get("fleet.test.duration")
+    assert timer.count == 3
+
+
+def test_collect_metrics_off_by_default():
+    result = run_campaign(2, metric_trial, workers=1)
+    assert result.metrics == {}
+    assert result.merged_metrics is None
+    assert result.to_json_dict()["metrics"] is None
+
+
+def test_collect_metrics_wraps_trial_outcome_trials():
+    # A trial already returning TrialOutcome keeps its trace shipping
+    # and gains a metrics snapshot on the same outcome.
+    result = run_campaign(2, traced_trial, workers=1, sample_traces=1,
+                          collect_metrics=True)
+    assert sorted(result.traces) == [1000]
+    assert sorted(result.metrics) == [1000, 1001]
+    assert result.stats.values == [1000.0, 1001.0]
 
 
 # ----------------------------------------------------------------------

@@ -1,13 +1,20 @@
 """Determinism golden tests.
 
 The whole reproduction rests on one property: a simulated world is a
-pure function of its seed.  These tests pin that down at two levels —
-the full FIG2 download-MITM world (trace-for-trace), and the campaign
-layer (serial and parallel sweeps must agree bit-for-bit).
+pure function of its seed.  These tests pin that down at three levels —
+the full FIG2 download-MITM world (trace-for-trace), the campaign
+layer (serial and parallel sweeps must agree bit-for-bit), and the
+observability layer (enabling metrics/profiling must not change any
+simulated result: the zero-perturbation invariant).
 """
 
+import pytest
+
 from repro.core.campaign import run_trials
+from repro.core.registry import get_experiment
 from repro.core.scenario import build_corp_scenario
+from repro.fleet import run_campaign
+from repro.obs import collecting
 
 
 def _run_fig2_world(seed):
@@ -52,3 +59,55 @@ def test_fig2_campaign_identical_serial_vs_parallel():
     parallel = run_trials(6, fig2_compromise_trial, seed_base=300, workers=4)
     assert serial.values == parallel.values  # bit-for-bit, not just close
     assert serial.mean == parallel.mean
+
+
+# ----------------------------------------------------------------------
+# zero-perturbation: observability on, off, or absent must not change
+# one bit of any simulated result
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("exp_id", ["FIG1", "FIG2", "E-DETECT"])
+def test_experiment_payload_identical_with_obs_on_off_absent(exp_id):
+    runner = get_experiment(exp_id).runner
+    absent = runner()  # no context installed at all
+    with collecting(metrics=True, profile=True):
+        enabled = runner()
+    with collecting(metrics=False):
+        disabled = runner()
+    assert enabled == absent
+    assert disabled == absent
+
+
+def test_fig2_trace_contents_identical_with_obs_enabled():
+    categories_off, counters_off = _run_fig2_world(seed=11)
+    with collecting(metrics=True, profile=True) as col:
+        categories_on, counters_on = _run_fig2_world(seed=11)
+    assert categories_on == categories_off  # full event-category sequence
+    assert counters_on == counters_off
+    # and the run actually recorded something — the invariant is
+    # "observation changes nothing", not "nothing was observed"
+    assert col.registry.value("radio.deliveries") > 0
+    assert col.profiler.count("radio.fanout") > 0
+
+
+def test_fleet_merged_metrics_identical_serial_vs_parallel():
+    serial = run_campaign(4, fig2_compromise_trial, seed_base=300,
+                          collect_metrics=True)
+    parallel = run_campaign(4, fig2_compromise_trial, seed_base=300,
+                            workers=2, collect_metrics=True)
+    # per-trial values unchanged by collection, serial == parallel
+    assert serial.per_seed == parallel.per_seed
+    # per-trial snapshots agree seed-for-seed ...
+    assert serial.metrics == parallel.metrics
+    # ... and seed-order reduction yields the same merged registry
+    assert serial.merged_metrics.snapshot() == parallel.merged_metrics.snapshot()
+    assert serial.merged_metrics.value("radio.deliveries") > 0
+
+
+def test_collect_metrics_does_not_change_trial_values():
+    plain = run_campaign(4, fig2_compromise_trial, seed_base=300)
+    collected = run_campaign(4, fig2_compromise_trial, seed_base=300,
+                             collect_metrics=True)
+    assert plain.per_seed == collected.per_seed
+    assert plain.metrics == {}
+    assert plain.merged_metrics is None

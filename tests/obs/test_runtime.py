@@ -1,0 +1,68 @@
+"""The ambient collecting() context: nesting, restoration, gating."""
+
+import pytest
+
+from repro.obs.runtime import (Collection, active_profiler, collecting,
+                               obs_metrics)
+
+
+def test_no_context_means_none():
+    assert obs_metrics() is None
+    assert active_profiler() is None
+
+
+def test_collecting_installs_and_restores():
+    with collecting() as col:
+        assert obs_metrics() is col.registry
+        assert active_profiler() is None  # profile off by default
+    assert obs_metrics() is None
+
+
+def test_collecting_profile_enables_profiler():
+    with collecting(profile=True) as col:
+        assert active_profiler() is col.profiler
+        assert col.profiler is not None
+    assert active_profiler() is None
+
+
+def test_disabled_metrics_hide_the_registry():
+    with collecting(metrics=False) as col:
+        # Instrumentation sees "off" ...
+        assert obs_metrics() is None
+        # ... but the context still snapshots a stable (empty) shape.
+        assert col.snapshot() == {}
+
+
+def test_contexts_nest_innermost_wins():
+    with collecting() as outer:
+        outer.registry.incr("outer.only")
+        with collecting() as inner:
+            assert obs_metrics() is inner.registry
+            obs_metrics().incr("inner.only")
+        assert obs_metrics() is outer.registry
+    assert "inner.only" not in outer.snapshot()
+
+
+def test_context_restored_when_body_raises():
+    with pytest.raises(RuntimeError):
+        with collecting():
+            raise RuntimeError("trial died")
+    assert obs_metrics() is None
+    assert active_profiler() is None
+
+
+def test_recording_through_the_ambient_context():
+    with collecting(profile=True) as col:
+        m = obs_metrics()
+        m.incr("radio.deliveries", 3)
+        with active_profiler().span("radio.fanout"):
+            pass
+    snap = col.snapshot()
+    assert snap["radio.deliveries"]["value"] == 3
+    assert col.profiler.count("radio.fanout") == 1
+
+
+def test_collection_defaults():
+    col = Collection()
+    assert col.registry.enabled
+    assert col.profiler is None

@@ -150,3 +150,69 @@ def test_dump_is_readable():
     t.emit("cat.sub", "host", k="v")
     out = t.dump()
     assert "cat.sub" in out and "host" in out and "k='v'" in out
+
+
+# ----------------------------------------------------------------------
+# listener containment: one broken/mutating listener must not break
+# emission, starve other listeners, or lose the record
+# ----------------------------------------------------------------------
+
+def test_raising_listener_is_contained_and_recorded():
+    t = Trace()
+    boom = RuntimeError("listener bug")
+
+    def bad(rec):
+        raise boom
+
+    t.subscribe("c", bad)
+    rec = t.emit("c.x", "s", k=1)  # must not raise
+    assert rec is not None
+    assert t.count("c.x") == 1  # the record itself survived
+    assert t.listener_errors == [("c.x", bad, boom)]
+
+
+def test_raising_listener_does_not_starve_later_listeners():
+    t = Trace()
+    seen = []
+
+    def bad(rec):
+        raise ValueError("first listener broken")
+
+    t.subscribe("c", bad)
+    t.subscribe("c", lambda rec: seen.append(rec.detail["i"]))
+    t.emit("c.x", "s", i=1)
+    t.emit("c.x", "s", i=2)
+    assert seen == [1, 2]
+    assert len(t.listener_errors) == 2
+
+
+def test_listener_unsubscribing_mid_emit_does_not_skip_others():
+    t = Trace()
+    seen = []
+    unsubs = []
+
+    def self_removing(rec):
+        unsubs[0]()  # mutates _listeners during the notify loop
+
+    unsubs.append(t.subscribe("c", self_removing))
+    t.subscribe("c", lambda rec: seen.append(rec.detail["i"]))
+    t.emit("c.x", "s", i=1)
+    assert seen == [1]  # the second listener still fired this emit
+    t.emit("c.x", "s", i=2)
+    assert seen == [1, 2]
+    assert t.listener_errors == []
+
+
+def test_listener_subscribing_mid_emit_applies_from_next_emit():
+    t = Trace()
+    late = []
+
+    def adder(rec):
+        if not late:
+            t.subscribe("c", lambda r: late.append(r.detail["i"]))
+
+    t.subscribe("c", adder)
+    t.emit("c.x", "s", i=1)
+    assert late == []  # not notified for the emit that added it
+    t.emit("c.x", "s", i=2)
+    assert late == [2]
