@@ -1,0 +1,87 @@
+"""Flight-recorder overhead: the price of causal frame tracing.
+
+Engineering telemetry, not paper reproduction: the recorder's contract
+is zero *perturbation* (bit-identical results, pinned by the
+determinism goldens), but not zero *cost*.  These benches measure the
+cost on the FIG2 download-MITM world — the densest frame-lineage
+workload in the repo — and pin two budgets:
+
+* wall-clock: a recorded run must stay within a small multiple of an
+  unrecorded one (generous bound; CI boxes are noisy);
+* memory: the ring buffer really is a ring — lineage count never
+  exceeds capacity, hop lists never exceed ``max_hops``, no matter how
+  much traffic the world generates.
+
+Run with::
+
+    pytest benchmarks/test_trace_overhead.py --benchmark-only -s
+"""
+
+import time
+
+from conftest import print_rows
+
+from repro.core.scenario import build_corp_scenario
+from repro.obs.lineage import recording
+
+
+def _fig2_world(seed=11):
+    scenario = build_corp_scenario(seed=seed)
+    scenario.arm_download_mitm()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    scenario.run_download_experiment(victim)
+    return scenario
+
+
+def _time_runs(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_recorder_wall_clock_overhead(benchmark):
+    base_s = _time_runs(_fig2_world)
+
+    def recorded():
+        with recording(capacity=8192):
+            _fig2_world()
+
+    recorded_s = benchmark.pedantic(lambda: _time_runs(recorded),
+                                    rounds=1, iterations=1, warmup_rounds=0)
+    ratio = recorded_s / base_s if base_s > 0 else 1.0
+    print_rows("Flight-recorder overhead (FIG2 world, best of 3)", [
+        {"mode": "recorder off", "best_s": round(base_s, 4), "ratio": 1.0},
+        {"mode": "recorder on", "best_s": round(recorded_s, 4),
+         "ratio": round(ratio, 2)},
+    ])
+    # Generous: recording adds per-frame dict/hop work but must never be
+    # the dominant cost of the simulation.
+    assert ratio < 5.0, f"flight recorder {ratio:.1f}x slower than baseline"
+
+
+def test_recorder_memory_stays_bounded(benchmark):
+    def run(capacity, max_hops):
+        with recording(capacity=capacity, max_hops=max_hops) as rec:
+            _fig2_world()
+        return rec
+
+    rec = benchmark.pedantic(run, args=(256, 8),
+                             rounds=1, iterations=1, warmup_rounds=0)
+    s = rec.summary()
+    print_rows("Flight-recorder ring bounds (capacity=256, max_hops=8)", [
+        {"lineages": s["lineages"], "hops": s["hops"],
+         "evicted": s["evicted"],
+         "max_hops_seen": max((len(ln.hops) for ln in rec.lineages()),
+                              default=0)},
+    ])
+    assert len(rec) <= 256
+    assert s["evicted"] > 0  # FIG2 overflows a 256-lineage ring
+    assert all(len(ln.hops) <= 8 for ln in rec.lineages())
+    # raw capture is also bounded per lineage by the frame size itself:
+    # total retained bytes stay modest even with capture on
+    total_raw = sum(len(ln.raw or b"") for ln in rec.lineages())
+    assert total_raw < 256 * 4096

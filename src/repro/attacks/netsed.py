@@ -26,10 +26,28 @@ from typing import Callable, Optional
 from repro.hosts.host import Host
 from repro.netstack.addressing import IPv4Address
 from repro.netstack.tcp import TcpConnection
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ConfigurationError
 
 __all__ = ["NetsedProxy", "NetsedRule", "StreamingRewriter", "parse_rule"]
+
+
+def _printable(data: bytes) -> str:
+    """Escape a payload excerpt for hop details / terminal output."""
+    return data.decode("latin-1").encode("unicode_escape").decode("ascii")
+
+
+def _diff_excerpt(before: bytes, after: bytes, *, context: int = 24,
+                  width: int = 72) -> tuple[str, str]:
+    """Aligned excerpts of ``before``/``after`` around their first difference."""
+    i = min(len(before), len(after))
+    for k, (a, b) in enumerate(zip(before, after)):
+        if a != b:
+            i = k
+            break
+    lo = max(0, i - context)
+    return _printable(before[lo:lo + width]), _printable(after[lo:lo + width])
 
 
 @dataclass(frozen=True)
@@ -163,6 +181,11 @@ class NetsedProxy:
         m = obs_metrics()
         if m is not None:
             m.incr("attack.netsed.connections")
+        rec = flight_recorder()
+        if rec is not None and rec.current() is not None:
+            rec.hop("netsed", "accept", host=self.host.name,
+                    t=self.host.sim.now, client=str(client.remote_ip),
+                    upstream=f"{self.target_ip}:{self.target_port}")
         upstream = self.host.tcp_connect(self.target_ip, self.target_port)
         down_rw = self._make_rewriter()          # server -> client direction
         up_rw = self._make_rewriter() if self.rewrite_upstream else None
@@ -186,7 +209,21 @@ class NetsedProxy:
             pending_up.clear()
 
         def on_up_data(data: bytes) -> None:
+            hits_before = down_rw.replacements
             rewritten = down_rw.process(data)
+            rec = flight_recorder()
+            if rec is not None and rec.current() is not None \
+                    and down_rw.replacements > hits_before:
+                # The MITM's defining moment: record which rules fired
+                # and an aligned before/after excerpt of the payload.
+                before, after = _diff_excerpt(data, rewritten)
+                rules = [f"s/{_printable(r.old)}/{_printable(r.new)}/"
+                         for r in self.rules if r.old in data]
+                rec.hop("netsed", "rewrite", host=self.host.name,
+                        t=self.host.sim.now,
+                        replacements=down_rw.replacements - hits_before,
+                        rules=rules, before=before, after=after,
+                        bytes_in=len(data), bytes_out=len(rewritten))
             if rewritten:
                 client.send(rewritten)
 

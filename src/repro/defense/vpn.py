@@ -40,6 +40,7 @@ from repro.netstack.addressing import IPv4Address, Network
 from repro.netstack.ipv4 import IPv4Packet
 from repro.netstack.routing import Route
 from repro.netstack.tcp import TcpConnection
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ConfigurationError, ProtocolError
 
@@ -311,6 +312,11 @@ class VpnClient:
         if not self.connected or self._records is None or self._conn is None:
             return
         self.packets_tunnelled += 1
+        rec = flight_recorder()
+        if rec is not None and rec.current() is not None:
+            rec.hop("vpn", "encap", host=self.host.name,
+                    t=self.host.sim.now, dst=str(packet.dst),
+                    bytes=len(packet.payload))
         ppp = struct.pack(">H", PPP_PROTO_IP) + packet.to_bytes()
         self._conn.send(_frame(_MSG_DATA, self._records.seal(ppp)))
 
@@ -327,6 +333,11 @@ class VpnClient:
         except ProtocolError:
             return
         self.packets_received += 1
+        rec = flight_recorder()
+        if rec is not None and rec.current() is not None:
+            rec.hop("vpn", "decap", host=self.host.name,
+                    t=self.host.sim.now, src=str(packet.src),
+                    dst=str(packet.dst), bytes=len(packet.payload))
         self.tun.inject(packet)
 
     # ------------------------------------------------------------------
@@ -525,11 +536,21 @@ class VpnServer:
         except ProtocolError:
             return
         if session.tun is not None:
+            rec = flight_recorder()
+            if rec is not None and rec.current() is not None:
+                rec.hop("vpn", "decap", host=self.host.name,
+                        t=self.host.sim.now, client=session.name,
+                        src=str(packet.src), dst=str(packet.dst))
             session.tun.inject(packet)
 
     def _to_client(self, session: _Session, packet: IPv4Packet) -> None:
         if session.records is None:
             return
+        rec = flight_recorder()
+        if rec is not None and rec.current() is not None:
+            rec.hop("vpn", "encap", host=self.host.name,
+                    t=self.host.sim.now, client=session.name,
+                    dst=str(packet.dst), bytes=len(packet.payload))
         ppp = struct.pack(">H", PPP_PROTO_IP) + packet.to_bytes()
         session.conn.send(_frame(_MSG_DATA, session.records.seal(ppp)))
 

@@ -32,6 +32,7 @@ from repro.dot11.ies import (
     ssid_ie,
 )
 from repro.dot11.mac import BROADCAST, MacAddress
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import active_profiler, obs_metrics
 from repro.sim.errors import ProtocolError
 
@@ -144,6 +145,11 @@ class Dot11Frame:
     to_ds: bool = False
     from_ds: bool = False
     retry: bool = False
+    #: Flight-recorder lineage id (repro.obs.lineage); assigned at first
+    #: transmission while a recorder is installed.  Excluded from
+    #: equality/repr: lineage annotation must never change frame
+    #: semantics (the zero-perturbation contract).
+    trace_id: Optional[int] = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -219,6 +225,10 @@ class Dot11Frame:
         raw = header + self.body
         if with_fcs:
             raw += crc32(raw).to_bytes(4, "little")
+        rec = flight_recorder()
+        if rec is not None and self.trace_id is not None:
+            rec.hop("dot11", "encode", trace_id=self.trace_id,
+                    bytes=len(raw), subtype=self.subtype.name)
         return raw
 
     @classmethod
@@ -254,6 +264,15 @@ class Dot11Frame:
             subtype = FrameSubtype(flat)
         except ValueError as exc:
             raise ProtocolError(f"unsupported frame subtype {flat:#x}") from exc
+        rec = flight_recorder()
+        trace_id = None
+        if rec is not None:
+            # A frame re-parsed from sniffed bytes is the *same* frame:
+            # inherit the lineage of the delivery being processed.
+            trace_id = rec.current()
+            if trace_id is not None:
+                rec.hop("dot11", "decode", trace_id=trace_id,
+                        bytes=len(raw), subtype=subtype.name)
         return cls(
             subtype=subtype,
             addr1=MacAddress(a1),
@@ -267,6 +286,7 @@ class Dot11Frame:
             to_ds=bool(fc1 & _FLAG_TO_DS),
             from_ds=bool(fc1 & _FLAG_FROM_DS),
             retry=bool(fc1 & _FLAG_RETRY),
+            trace_id=trace_id,
         )
 
     def air_bytes(self) -> int:

@@ -33,7 +33,8 @@ from repro.core.campaign import TrialStats
 from repro.fleet.errors import (FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT,
                                 FleetError, TrialFailure)
 from repro.fleet.reduce import campaign_stats
-from repro.fleet.worker import (MetricsCollectingTrial, TrialOutcome,
+from repro.fleet.worker import (LineageCollectingTrial,
+                                MetricsCollectingTrial, TrialOutcome,
                                 _TrialTimeout, outcome_extra, run_one,
                                 worker_main)
 from repro.obs.metrics import MetricsRegistry
@@ -56,7 +57,9 @@ class CampaignResult:
     succeeded; ``failures`` lists every trial that failed all attempts;
     ``traces`` maps seed → serialized trace records for sampled seeds;
     ``metrics`` maps seed → per-trial metrics snapshot when the campaign
-    ran with ``collect_metrics=True``.
+    ran with ``collect_metrics=True``; ``lineages`` maps seed → that
+    trial's truncated flight-recorder sample when the campaign ran with
+    ``flight_recorder=N``.
     """
 
     n: int
@@ -67,6 +70,7 @@ class CampaignResult:
     failures: List[TrialFailure] = field(default_factory=list)
     traces: Dict[int, List[dict]] = field(default_factory=dict)
     metrics: Dict[int, dict] = field(default_factory=dict)
+    lineages: Dict[int, List[dict]] = field(default_factory=dict)
 
     @property
     def per_seed(self) -> Dict[int, Any]:
@@ -107,6 +111,22 @@ class CampaignResult:
             merged.merge(MetricsRegistry.from_snapshot(self.metrics[seed]))
         return merged
 
+    @property
+    def merged_lineages(self) -> List[dict]:
+        """Every shipped lineage sample concatenated in seed order.
+
+        Like :attr:`merged_metrics`, the seed-order fold makes the
+        merged list independent of worker assignment and completion
+        order.  Each dict is annotated with its ``"seed"`` — trace_ids
+        restart at 1 in every trial, so the seed is what disambiguates
+        lineages from different trials (rebuild one trial's view with
+        ``FlightRecorder.from_dicts(result.lineages[seed])``).
+        """
+        merged: List[dict] = []
+        for seed in sorted(self.lineages):
+            merged.extend({**ln, "seed": seed} for ln in self.lineages[seed])
+        return merged
+
     def to_json_dict(self) -> dict:
         """JSON-shaped summary used by ``python -m repro sweep --json``."""
         merged = self.merged_metrics
@@ -121,6 +141,7 @@ class CampaignResult:
             "failures": [f.to_dict() for f in self.failures],
             "traces": {str(seed): recs for seed, recs in sorted(self.traces.items())},
             "metrics": merged.snapshot() if merged is not None else None,
+            "lineages": self.merged_lineages or None,
         }
 
 
@@ -128,7 +149,8 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
                  seed_base: int = 1000, workers: int = 1,
                  timeout: Optional[float] = None, retries: int = 1,
                  sample_traces: int = 0,
-                 collect_metrics: bool = False) -> CampaignResult:
+                 collect_metrics: bool = False,
+                 flight_recorder: int = 0) -> CampaignResult:
     """Run ``trial(seed)`` for ``n`` seeds, sharded over ``workers`` processes.
 
     Parameters
@@ -157,21 +179,29 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
         each trial's :class:`MetricsRegistry` snapshot to the parent
         (see :attr:`CampaignResult.merged_metrics`).  Purely
         observational — trial values are unchanged.
+    flight_recorder:
+        ``N > 0`` runs every trial under a flight recorder whose ring
+        buffer keeps the newest ``N`` frame lineages; each trial's
+        sample ships to the parent (see
+        :attr:`CampaignResult.lineages` / ``merged_lineages``).  Like
+        metrics, recording never perturbs trial values.
     """
     if n < 0:
         raise FleetError(f"trial count must be >= 0, got {n}")
     if retries < 0:
         raise FleetError(f"retries must be >= 0, got {retries}")
+    if flight_recorder > 0:
+        trial = LineageCollectingTrial(trial, flight_recorder)
     if collect_metrics:
         trial = MetricsCollectingTrial(trial)
     trace_indices = frozenset(range(min(max(sample_traces, 0), n)))
     started = time.perf_counter()
     if workers <= 1 or n <= 1:
-        per_index, failures, traces, metrics = _run_serial(
+        per_index, failures, traces, metrics, lineages = _run_serial(
             n, trial, seed_base, timeout, retries, trace_indices)
         workers = 1
     else:
-        per_index, failures, traces, metrics = _run_parallel(
+        per_index, failures, traces, metrics, lineages = _run_parallel(
             n, trial, seed_base, min(workers, n), timeout, retries,
             trace_indices)
     return CampaignResult(
@@ -180,7 +210,8 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
         per_index=per_index,
         failures=sorted(failures, key=lambda f: f.index),
         traces={seed_base + i: recs for i, recs in sorted(traces.items())},
-        metrics={seed_base + i: snap for i, snap in sorted(metrics.items())})
+        metrics={seed_base + i: snap for i, snap in sorted(metrics.items())},
+        lineages={seed_base + i: lns for i, lns in sorted(lineages.items())})
 
 
 # ----------------------------------------------------------------------
@@ -192,6 +223,7 @@ def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
     failures: List[TrialFailure] = []
     traces: Dict[int, List[dict]] = {}
     metrics: Dict[int, dict] = {}
+    lineages: Dict[int, List[dict]] = {}
     for index in range(n):
         for attempt in range(1, retries + 2):
             try:
@@ -210,13 +242,15 @@ def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
                             traces[index] = extra["trace"]
                         if "metrics" in extra:
                             metrics[index] = extra["metrics"]
+                        if "lineage" in extra:
+                            lineages[index] = extra["lineage"]
                 per_index[index] = value
                 break
             if attempt == retries + 1:
                 failures.append(TrialFailure(
                     seed=seed_base + index, index=index, kind=kind,
                     message=message, attempts=attempt))
-    return per_index, failures, traces, metrics
+    return per_index, failures, traces, metrics, lineages
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +290,7 @@ class _Fleet:
         self.failures: List[TrialFailure] = []
         self.traces: Dict[int, List[dict]] = {}
         self.metrics: Dict[int, dict] = {}
+        self.lineages: Dict[int, List[dict]] = {}
         self.resolved: set[int] = set()
         self._next_worker_id = 0
         self._last_progress = time.monotonic()
@@ -297,6 +332,8 @@ class _Fleet:
                 self.traces[index] = extra["trace"]
             if "metrics" in extra:
                 self.metrics[index] = extra["metrics"]
+            if "lineage" in extra:
+                self.lineages[index] = extra["lineage"]
 
     def _record_failed_attempt(self, index, kind, message) -> None:
         if index in self.resolved:
@@ -414,7 +451,8 @@ class _Fleet:
                     self._police_workers()
                     continue
                 self._handle(message)
-            return self.per_index, self.failures, self.traces, self.metrics
+            return (self.per_index, self.failures, self.traces, self.metrics,
+                    self.lineages)
         finally:
             self._shutdown()
 

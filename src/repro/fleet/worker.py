@@ -15,9 +15,11 @@ Wire protocol (all messages are 5-tuples on the result queue)::
     ("bye",   worker_id, None,  None, None)        # clean shutdown
 
 ``extra`` on an ``"ok"`` message is ``None`` or a dict with optional
-keys ``"trace"`` (serialized trace records for sampled seeds) and
+keys ``"trace"`` (serialized trace records for sampled seeds),
 ``"metrics"`` (the trial's :class:`MetricsRegistry` snapshot when the
-campaign collects metrics).
+campaign collects metrics) and ``"lineage"`` (a truncated serialized
+flight-recorder sample when the campaign runs with
+``flight_recorder=N``).
 
 ``"start"`` always precedes the matching ``"ok"``/``"fail"`` and the
 queue preserves per-worker ordering, so the parent always knows which
@@ -31,10 +33,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, FrozenSet, Optional
 
 from repro.fleet.errors import FAIL_ERROR, FAIL_TIMEOUT
+from repro.obs.lineage import recording
 from repro.obs.runtime import collecting
 from repro.sim.trace import Trace
 
-__all__ = ["MetricsCollectingTrial", "TrialOutcome", "run_one", "worker_main"]
+__all__ = ["LineageCollectingTrial", "MetricsCollectingTrial",
+           "TrialOutcome", "run_one", "worker_main"]
 
 
 @dataclass
@@ -55,6 +59,7 @@ class TrialOutcome:
     value: Any
     trace: Optional[Trace] = None
     metrics: Optional[dict] = None
+    lineage: Optional[list] = None
 
 
 class MetricsCollectingTrial:
@@ -80,6 +85,32 @@ class MetricsCollectingTrial:
             result.metrics = snapshot
             return result
         return TrialOutcome(value=result, metrics=snapshot)
+
+
+class LineageCollectingTrial:
+    """Picklable wrapper that runs a trial under a flight recorder.
+
+    The recorder's ring buffer *is* the truncation: with
+    ``capacity=sample`` only the newest ``sample`` lineages survive the
+    trial, so worker memory and the result-queue payload stay bounded no
+    matter how much traffic the trial generates.  Raw frame bytes are
+    clipped by :meth:`FlightRecorder.to_dicts`'s ``raw_limit`` on the
+    way out.  Recording is observational only — the fleet's determinism
+    contract (trial value depends only on the seed) is unchanged.
+    """
+
+    def __init__(self, trial: Callable[[int], Any], sample: int = 256) -> None:
+        self.trial = trial
+        self.sample = max(1, sample)
+
+    def __call__(self, seed: int) -> "TrialOutcome":
+        with recording(capacity=self.sample) as rec:
+            result = self.trial(seed)
+        lineage = rec.to_dicts()
+        if isinstance(result, TrialOutcome):
+            result.lineage = lineage
+            return result
+        return TrialOutcome(value=result, lineage=lineage)
 
 
 class _TrialTimeout(Exception):
@@ -145,4 +176,6 @@ def outcome_extra(outcome: TrialOutcome, ship_trace: bool) -> Optional[dict]:
         extra["trace"] = outcome.trace.to_dicts()
     if outcome.metrics is not None:
         extra["metrics"] = outcome.metrics
+    if outcome.lineage is not None:
+        extra["lineage"] = outcome.lineage
     return extra or None

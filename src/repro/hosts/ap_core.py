@@ -40,6 +40,7 @@ from repro.crypto.tkip import TkipError
 from repro.hosts.nic import Interface
 from repro.hosts.wpa_link import ETHERTYPE_EAPOL, ApWpaSession
 from repro.netstack.ethernet import llc_decap, llc_encap
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
@@ -211,6 +212,13 @@ class ApCore:
                               from_ds=True, protected=protected,
                               seq=self.seqctl.next())
         self.port.transmit(frame)
+        rec = flight_recorder()
+        if rec is not None and frame.trace_id is not None:
+            rec.hop("ap", "tx", trace_id=frame.trace_id, host=self.name,
+                    t=self.sim.now, dst=str(dst_mac),
+                    ethertype=hex(ethertype),
+                    privacy="wpa" if self.wpa_psk is not None
+                    else "wep" if protected else "open")
 
     def _send_eapol(self, sta: MacAddress, payload: bytes) -> None:
         """Handshake frames ride unprotected data frames (as EAPOL does)."""
@@ -434,6 +442,11 @@ class ApCore:
         except ProtocolError:
             return
         dst = frame.destination  # addr3 for to-DS frames
+        rec = flight_recorder()
+        if rec is not None and frame.trace_id is not None:
+            rec.hop("ap", "uplink", trace_id=frame.trace_id, host=self.name,
+                    t=self.sim.now, src=str(frame.source), dst=str(dst),
+                    ethertype=hex(ethertype))
         # Intra-BSS relay for associated peers and broadcasts.
         if dst.is_broadcast or dst.is_multicast:
             self.data_relayed += 1

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 from repro.dot11.mac import BROADCAST, MacAddress
 from repro.hosts.nic import Interface, TunInterface
 from repro.netstack.addressing import IPv4Address, Network
-from repro.netstack.arp import ArpOp, ArpPacket, ArpTable
+from repro.netstack.arp import ArpOp, ArpPacket, ArpTable, record_arp_hop
 from repro.netstack.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4
 from repro.netstack.icmp import IcmpMessage, IcmpType
 from repro.netstack.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
@@ -30,6 +30,7 @@ from repro.netstack.tcp import (
     TcpSegment,
 )
 from repro.netstack.udp import UdpDatagram
+from repro.obs.lineage import flight_recorder
 from repro.sim.errors import ConfigurationError, NetworkError, ProtocolError, SocketError
 from repro.sim.kernel import Simulator
 
@@ -188,6 +189,7 @@ class Host:
     # ARP
     # ------------------------------------------------------------------
     def _handle_arp(self, iface: Interface, arp: ArpPacket) -> None:
+        record_arp_hop(self.name, iface.name, arp, self.sim.now)
         for listener in self.arp_listeners:
             listener(iface, arp)
         table = self.arp_tables[iface.name]
@@ -292,6 +294,13 @@ class Host:
             return
         self.packets_forwarded += 1
         self._capture("forward", iface.name, packet)
+        rec = flight_recorder()
+        if rec is not None and rec.current() is not None:
+            # On the rogue this is the parprouted/ip_forward bridge hop:
+            # the packet crossed from one interface toward the other.
+            rec.hop("ip", "forward", host=self.name, t=self.sim.now,
+                    in_iface=iface.name, src=str(packet.src),
+                    dst=str(packet.dst), ttl=packet.ttl)
         self._route_and_send(packet, originated=False, nat_done=natted)
 
     def send_ip(self, packet: IPv4Packet, *, via_iface: Optional[str] = None) -> None:
@@ -343,6 +352,11 @@ class Host:
     # local delivery
     # ------------------------------------------------------------------
     def _deliver_local(self, packet: IPv4Packet, iface: Interface) -> None:
+        rec = flight_recorder()
+        if rec is not None and rec.current() is not None:
+            rec.hop("ip", "deliver", host=self.name, t=self.sim.now,
+                    proto=packet.proto, src=str(packet.src),
+                    dst=str(packet.dst))
         if packet.proto == PROTO_ICMP:
             self._deliver_icmp(packet)
         elif packet.proto == PROTO_UDP:

@@ -34,6 +34,7 @@ from repro.crypto.wep import WepKey, IvGenerator, wep_decrypt, wep_encrypt, WepE
 from repro.netstack.addressing import IPv4Address, Network
 from repro.netstack.ethernet import EthernetFrame, WiredPort, llc_decap, llc_encap
 from repro.netstack.ipv4 import IPv4Packet
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
@@ -82,6 +83,12 @@ class Interface:
     # Subclasses implement the actual L2 send.
     def send_frame_to(self, dst_mac: MacAddress, ethertype: int, payload: bytes) -> None:
         raise NotImplementedError
+
+    def _hop_host(self) -> str:
+        """Host-qualified label for flight-recorder hops (``victim:wlan0``)."""
+        if self.host is not None:
+            return f"{self.host.name}:{self.name}"
+        return self.name
 
     #: Whether IP next-hops on this interface require ARP resolution.
     needs_arp = True
@@ -494,6 +501,13 @@ class WirelessInterface(Interface):
         frame = make_data(self.mac, dst_mac, self.bssid, body,
                           to_ds=True, protected=protected, seq=self.seqctl.next())
         self.port.transmit(frame)
+        rec = flight_recorder()
+        if rec is not None and frame.trace_id is not None:
+            rec.hop("nic", "tx", trace_id=frame.trace_id,
+                    host=self._hop_host(), t=self.sim.now,
+                    ethertype=hex(ethertype),
+                    privacy="wpa" if self.wpa_psk is not None
+                    else "wep" if protected else "open")
 
     # ------------------------------------------------------------------
     # reception
@@ -647,4 +661,11 @@ class WirelessInterface(Interface):
             ethertype, payload = llc_decap(body)
         except ProtocolError:
             return
+        rec = flight_recorder()
+        if rec is not None and frame.trace_id is not None:
+            rec.hop("nic", "deliver", trace_id=frame.trace_id,
+                    host=self._hop_host(), t=self.sim.now,
+                    ethertype=hex(ethertype), bytes=len(payload),
+                    privacy="wpa" if self.wpa_psk is not None
+                    else "wep" if frame.protected else "open")
         self._deliver_up(frame.source, frame.destination, ethertype, payload)

@@ -16,10 +16,25 @@ from typing import Optional
 
 from repro.dot11.mac import MacAddress
 from repro.netstack.addressing import IPv4Address
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ProtocolError
 
-__all__ = ["ArpOp", "ArpPacket", "ArpTable"]
+__all__ = ["ArpOp", "ArpPacket", "ArpTable", "record_arp_hop"]
+
+
+def record_arp_hop(host: str, iface: str, arp: "ArpPacket", t: float) -> None:
+    """Attach an ARP-processing hop to the current frame lineage.
+
+    Called by the host when it handles an ARP packet; a no-op unless a
+    flight recorder is installed and a frame is being delivered (the
+    lineage context carries the id).
+    """
+    rec = flight_recorder()
+    if rec is None or rec.current() is None:
+        return
+    rec.hop("arp", arp.op.name.lower(), host=host, t=t, iface=iface,
+            sender=str(arp.sender_ip), target=str(arp.target_ip))
 
 
 class ArpOp(enum.IntEnum):

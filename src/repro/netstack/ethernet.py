@@ -16,10 +16,11 @@ Two details matter to the paper:
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.dot11.mac import BROADCAST, MacAddress
+from repro.obs.lineage import flight_recorder
 from repro.sim.errors import ConfigurationError, ProtocolError
 from repro.sim.kernel import Simulator
 
@@ -63,6 +64,10 @@ class EthernetFrame:
     src: MacAddress
     ethertype: int
     payload: bytes
+    #: Flight-recorder lineage id; stamped (via object.__setattr__ — the
+    #: dataclass is frozen) at first transmission while a recorder is
+    #: installed.  compare=False keeps frame equality untouched.
+    trace_id: Optional[int] = field(default=None, compare=False, repr=False)
 
     HEADER_LEN = 14
 
@@ -98,6 +103,16 @@ class WiredPort:
         if self.segment is None:
             raise ConfigurationError(f"wired port {self.name!r} not attached to a segment")
         self.tx_frames += 1
+        rec = flight_recorder()
+        if rec is not None:
+            if frame.trace_id is None:
+                object.__setattr__(
+                    frame, "trace_id",
+                    rec.begin("ether", self.name, self.segment.sim.now))
+            rec.hop("ether", "tx", trace_id=frame.trace_id, host=self.name,
+                    t=self.segment.sim.now, src=str(frame.src),
+                    dst=str(frame.dst), ethertype=hex(frame.ethertype),
+                    bytes=len(frame.payload) + frame.HEADER_LEN)
         self.segment.transmit(self, frame)
 
     def deliver(self, frame: EthernetFrame) -> None:
@@ -106,7 +121,17 @@ class WiredPort:
         if not self.promiscuous and frame.dst != self.mac and not frame.dst.is_broadcast and not frame.dst.is_multicast:
             return
         self.rx_frames += 1
-        self.on_receive(frame)
+        rec = flight_recorder()
+        if rec is None or frame.trace_id is None:
+            self.on_receive(frame)
+            return
+        # Wire delivery is a *scheduled* event, so the causal context
+        # does not survive the hop on the call stack — the frame's own
+        # trace_id re-establishes it.
+        rec.hop("ether", "rx", trace_id=frame.trace_id, host=self.name,
+                t=self.segment.sim.now if self.segment is not None else None)
+        with rec.frame_context(frame.trace_id):
+            self.on_receive(frame)
 
 
 class LanSegment:

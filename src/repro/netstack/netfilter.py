@@ -25,6 +25,7 @@ from repro.netstack.addressing import IPv4Address, Network
 from repro.netstack.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Packet
 from repro.netstack.tcp import TcpSegment
 from repro.netstack.udp import UdpDatagram
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ConfigurationError
 
@@ -411,6 +412,7 @@ class Netfilter:
             if translated is not None:
                 if m is not None:
                     m.incr("netfilter.conntrack_hits")
+                self._record_nat_hop(chain, "conntrack", packet, translated, now)
                 return Verdict.ACCEPT, translated, True
         for rule in self.chains[chain]:
             if not rule.matches(packet, in_iface=in_iface, out_iface=out_iface):
@@ -426,22 +428,38 @@ class Netfilter:
             if isinstance(target, (TargetDnat, TargetRedirect, TargetSnat)):
                 if not nat:
                     continue
+                before = packet
                 if isinstance(target, TargetDnat):
                     packet = self.conntrack.track_dnat(packet, target.to_ip,
                                                        target.to_port, now)
+                    action = "dnat"
                 elif isinstance(target, TargetRedirect):
                     if local_ip is None:
                         raise ConfigurationError("REDIRECT needs the local interface IP")
                     packet = self.conntrack.track_dnat(packet, local_ip,
                                                        target.to_port, now)
+                    action = "redirect"
                 else:
                     packet = self.conntrack.track_snat(packet, target.to_ip, now)
+                    action = "snat"
                 if m is not None:
                     m.incr("netfilter.snat_hits" if isinstance(target, TargetSnat)
                            else "netfilter.dnat_hits")
                     m.set_gauge("netfilter.conntrack_entries", len(self.conntrack))
+                self._record_nat_hop(chain, action, before, packet, now)
                 return Verdict.ACCEPT, packet, True
         return Verdict.ACCEPT, packet, natted  # default policy ACCEPT
+
+    @staticmethod
+    def _record_nat_hop(chain: Chain, action: str, before: IPv4Packet,
+                        after: IPv4Packet, now: float) -> None:
+        """Lineage hop for a NAT rewrite (before/after addressing)."""
+        rec = flight_recorder()
+        if rec is None or rec.current() is None:
+            return
+        rec.hop("netfilter", action, t=now, chain=chain.value,
+                before=f"{before.src}->{before.dst}",
+                after=f"{after.src}->{after.dst}")
 
     def list_rules(self) -> str:
         """``iptables -L``-style dump."""

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 from repro.netstack.addressing import IPv4Address
 from repro.netstack.ipv4 import PROTO_TCP, internet_checksum
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ProtocolError, SocketError
 from repro.sim.kernel import Event, Simulator
@@ -227,6 +228,11 @@ class TcpConnection:
         self.bytes_received = 0
         self.segments_sent = 0
         self.segments_received = 0
+        # Last frame lineage this connection touched (write-only from the
+        # simulation's point of view): lets a timer-driven retransmission,
+        # which runs outside any delivery context, still attach its hops
+        # to the flow it belongs to.
+        self._lineage_hint: Optional[int] = None
 
     # ------------------------------------------------------------------
     # identity
@@ -337,6 +343,18 @@ class TcpConnection:
         if m is not None:
             m.incr("tcp.segments_sent")
             m.incr("tcp.bytes_sent", len(payload))
+        rec = flight_recorder()
+        if rec is not None:
+            tid = rec.current()
+            if tid is None:
+                tid = self._lineage_hint
+            else:
+                self._lineage_hint = tid
+            if tid is not None:
+                rec.hop("tcp", "tx", trace_id=tid,
+                        host=f"{self.local_ip}:{self.local_port}",
+                        t=self.sim.now, flags=seg.flag_names(), seq=seq,
+                        bytes=len(payload))
         self._send_segment(seg)
 
     def _send_ack(self) -> None:
@@ -418,6 +436,11 @@ class TcpConnection:
         m = obs_metrics()
         if m is not None:
             m.incr("tcp.retransmits")
+        rec = flight_recorder()
+        if rec is not None and self._lineage_hint is not None:
+            rec.hop("tcp", "retransmit", trace_id=self._lineage_hint,
+                    host=f"{self.local_ip}:{self.local_port}",
+                    t=self.sim.now, seq=self.snd_una, rto=round(self.rto, 3))
         if self.state is TcpState.SYN_SENT:
             self._transmit(FLAG_SYN, self.iss, b"")
             return
@@ -439,6 +462,15 @@ class TcpConnection:
         m = obs_metrics()
         if m is not None:
             m.incr("tcp.segments_received")
+        rec = flight_recorder()
+        if rec is not None:
+            tid = rec.current()
+            if tid is not None:
+                self._lineage_hint = tid
+                rec.hop("tcp", "rx", trace_id=tid,
+                        host=f"{self.local_ip}:{self.local_port}",
+                        t=self.sim.now, flags=segment.flag_names(),
+                        seq=segment.seq, bytes=len(segment.payload))
         if segment.flags & FLAG_RST:
             self._handle_rst(segment)
             return

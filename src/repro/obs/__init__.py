@@ -1,6 +1,6 @@
-"""Simulation-wide observability: metrics, profiling spans, export.
+"""Simulation-wide observability: metrics, profiling spans, tracing, export.
 
-Three pieces (see DESIGN.md §8):
+Four pieces (see DESIGN.md §8–§9):
 
 * :mod:`repro.obs.metrics` — a hierarchical :class:`MetricsRegistry`
   of mergeable counters/gauges/timers/histograms, instrumented at the
@@ -14,6 +14,11 @@ Three pieces (see DESIGN.md §8):
   hook short-circuits, and the hard invariant holds: simulated results
   are bit-for-bit identical with observability enabled, disabled, or
   absent.
+* :mod:`repro.obs.lineage` + :mod:`repro.obs.export` — the causal
+  frame-lineage :class:`FlightRecorder` (per-frame ``trace_id``, hop
+  records, parent/child span links, last-N ring buffer) installed with
+  :func:`recording`, exportable as pcap (``LINKTYPE_IEEE802_11``) or
+  Chrome trace-event JSON (``python -m repro trace EXP``).
 
 The registry obeys the ``merge()`` law of :mod:`repro.sim.stats`, so
 :mod:`repro.fleet` ships one snapshot per trial and reduces them in
@@ -21,6 +26,10 @@ seed order (``python -m repro sweep --metrics out.json``); a one-shot
 profile of any registered experiment is ``python -m repro profile EXP``.
 """
 
+from repro.obs.export import (LINKTYPE_IEEE802_11, chrome_trace_dict,
+                              pcap_bytes, write_chrome_trace, write_pcap)
+from repro.obs.lineage import (FlightRecorder, Hop, Lineage, flight_recorder,
+                               recording)
 from repro.obs.metrics import (CounterMetric, GaugeMetric, HistogramMetric,
                                MetricsRegistry, TimerMetric)
 from repro.obs.profiler import Profiler
@@ -30,12 +39,22 @@ from repro.obs.runtime import (Collection, active_profiler, collecting,
 __all__ = [
     "Collection",
     "CounterMetric",
+    "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
+    "Hop",
+    "LINKTYPE_IEEE802_11",
+    "Lineage",
     "MetricsRegistry",
     "Profiler",
     "TimerMetric",
     "active_profiler",
+    "chrome_trace_dict",
     "collecting",
+    "flight_recorder",
     "obs_metrics",
+    "pcap_bytes",
+    "recording",
+    "write_chrome_trace",
+    "write_pcap",
 ]

@@ -1,0 +1,158 @@
+"""Flight-recorder export: pcap and Chrome trace-event JSON, stdlib-only.
+
+Two consumers, two formats:
+
+* :func:`write_pcap` — classic libpcap capture file (magic
+  ``0xa1b2c3d4``, version 2.4) with ``LINKTYPE_IEEE802_11`` (105):
+  every recorded 802.11 lineage whose raw bytes were captured becomes
+  one packet record, timestamped at first transmission.  Opens in
+  Wireshark/tcpdump.
+* :func:`write_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and Perfetto: one track per host, one slice per
+  lineage on its origin's track, an instant event per hop, and flow
+  arrows along parent/child span links so the rogue bridge's
+  re-emissions draw as arrows from cause to copy.
+
+Both writers are pure functions of the recorder's contents and use
+only :mod:`struct`/:mod:`json`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import IO, Any, Iterable, Union
+
+from repro.obs.lineage import FlightRecorder, Lineage
+
+__all__ = ["LINKTYPE_IEEE802_11", "chrome_trace_dict", "pcap_bytes",
+           "write_chrome_trace", "write_pcap"]
+
+#: https://www.tcpdump.org/linktypes.html — 802.11 header + body, no radiotap.
+LINKTYPE_IEEE802_11 = 105
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+PCAP_SNAPLEN = 65535
+
+
+def _lineages(source: Union[FlightRecorder, Iterable[Lineage]]) -> list[Lineage]:
+    if isinstance(source, FlightRecorder):
+        return source.lineages()
+    return list(source)
+
+
+# ----------------------------------------------------------------------
+# pcap
+# ----------------------------------------------------------------------
+def pcap_bytes(source: Union[FlightRecorder, Iterable[Lineage]]) -> bytes:
+    """Serialize recorded 802.11 frames as a pcap capture file.
+
+    Only ``kind == "dot11"`` lineages with captured raw bytes are
+    written (the file's single link type is 802.11); records are
+    ordered by first-transmission time.
+    """
+    frames = sorted(
+        (ln for ln in _lineages(source) if ln.kind == "dot11" and ln.raw),
+        key=lambda ln: (ln.t0, ln.trace_id),
+    )
+    out = [struct.pack("<IHHiIII", PCAP_MAGIC, *PCAP_VERSION, 0, 0,
+                       PCAP_SNAPLEN, LINKTYPE_IEEE802_11)]
+    for lineage in frames:
+        raw = lineage.raw[:PCAP_SNAPLEN]
+        ts_sec = int(lineage.t0)
+        ts_usec = int(round((lineage.t0 - ts_sec) * 1e6))
+        if ts_usec >= 1_000_000:          # guard rounding at .999999+
+            ts_sec, ts_usec = ts_sec + 1, 0
+        out.append(struct.pack("<IIII", ts_sec, ts_usec, len(raw),
+                               len(lineage.raw)))
+        out.append(raw)
+    return b"".join(out)
+
+
+def write_pcap(dest: Union[str, IO[bytes]],
+               source: Union[FlightRecorder, Iterable[Lineage]]) -> int:
+    """Write :func:`pcap_bytes` to a path or binary file object.
+
+    Returns the number of packet records written.
+    """
+    payload = pcap_bytes(source)
+    n = sum(1 for ln in _lineages(source) if ln.kind == "dot11" and ln.raw)
+    if isinstance(dest, str):
+        with open(dest, "wb") as fh:
+            fh.write(payload)
+    else:
+        dest.write(payload)
+    return n
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_dict(source: Union[FlightRecorder, Iterable[Lineage]]) -> dict[str, Any]:
+    """Build a Trace Event Format document (load in Perfetto/chrome://tracing).
+
+    Layout: pid 1 is the simulation; each host (hop ``host`` or lineage
+    origin) gets a thread track.  A lineage renders as a complete ("X")
+    slice on its origin track spanning first transmission to last hop,
+    each hop as an instant ("i") event on the host it occurred at, and
+    each parent→child link as a flow arrow ("s"/"f").
+    """
+    lineages = sorted(_lineages(source), key=lambda ln: (ln.t0, ln.trace_id))
+    tids: dict[str, int] = {}
+
+    def tid(host: str) -> int:
+        if host not in tids:
+            tids[host] = len(tids) + 1
+        return tids[host]
+
+    def us(t: float) -> float:
+        return t * 1e6
+
+    events: list[dict[str, Any]] = []
+    by_id = {ln.trace_id: ln for ln in lineages}
+    for ln in lineages:
+        t_end = max([ln.t0] + [hop.t for hop in ln.hops])
+        events.append({
+            "name": f"frame #{ln.trace_id} ({ln.kind})",
+            "cat": ln.kind, "ph": "X", "pid": 1, "tid": tid(ln.origin),
+            "ts": us(ln.t0), "dur": max(us(t_end) - us(ln.t0), 1.0),
+            "args": {"trace_id": ln.trace_id, "parent": ln.parent,
+                     "hops": len(ln.hops), "origin": ln.origin},
+        })
+        for hop in ln.hops:
+            events.append({
+                "name": f"{hop.layer}.{hop.action}",
+                "cat": hop.layer, "ph": "i", "s": "t",
+                "pid": 1, "tid": tid(hop.host or ln.origin),
+                "ts": us(hop.t),
+                "args": {"trace_id": ln.trace_id, **hop.detail},
+            })
+        if ln.parent is not None and ln.parent in by_id:
+            parent = by_id[ln.parent]
+            events.append({"name": "derived", "cat": "lineage", "ph": "s",
+                           "id": ln.trace_id, "pid": 1,
+                           "tid": tid(parent.origin), "ts": us(ln.t0)})
+            events.append({"name": "derived", "cat": "lineage", "ph": "f",
+                           "bp": "e", "id": ln.trace_id, "pid": 1,
+                           "tid": tid(ln.origin), "ts": us(ln.t0)})
+    meta: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": "repro simulation"},
+    }]
+    for host, host_tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append({"name": "thread_name", "ph": "M", "pid": 1,
+                     "tid": host_tid, "args": {"name": host}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(dest: Union[str, IO[str]],
+                       source: Union[FlightRecorder, Iterable[Lineage]]) -> int:
+    """Write :func:`chrome_trace_dict` as JSON; returns the event count."""
+    doc = chrome_trace_dict(source)
+    if isinstance(dest, str):
+        with open(dest, "w") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, dest)
+    return len(doc["traceEvents"])

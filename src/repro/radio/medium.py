@@ -22,6 +22,7 @@ from typing import Callable, Optional, Protocol
 
 from repro.dot11.channels import channel_rejection_db, channels_overlap
 from repro.dot11.frames import Dot11Frame
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import active_profiler, obs_metrics
 from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
 from repro.sim.errors import ConfigurationError
@@ -172,6 +173,22 @@ class Medium:
             m.incr("radio.transmissions")
             if start > now:
                 m.incr("radio.deferrals")
+        rec = flight_recorder()
+        if rec is not None:
+            if frame.trace_id is None:
+                # First transmission: open the lineage (parented to the
+                # frame whose delivery caused this one, if any) and keep
+                # the as-transmitted bytes for pcap export.
+                frame.trace_id = rec.begin("dot11", tx_port.name, now)
+                if rec.capture_bytes:
+                    with rec.suspended():
+                        raw = frame.to_bytes()
+                    rec.attach_raw(frame.trace_id, raw)
+            rec.hop("radio", "tx", trace_id=frame.trace_id,
+                    host=tx_port.name, t=now, channel=tx_port.channel,
+                    subtype=frame.subtype.name, src=str(frame.addr2),
+                    dst=str(frame.addr1), bytes=frame.air_bytes(),
+                    retry=frame.retry, deferred=start > now)
         self._busy_until[tx_port.channel] = max(
             self._busy_until.get(tx_port.channel, 0.0), start + duration
         )
@@ -229,6 +246,8 @@ class Medium:
             self._inflight.remove(entry)
         tx_port = entry.port
         m = obs_metrics()
+        rec = flight_recorder()
+        tid = entry.frame.trace_id if rec is not None else None
         for rx in self.ports:
             if rx is tx_port or not rx.enabled or rx.on_receive is None:
                 continue
@@ -242,6 +261,9 @@ class Medium:
                 rx.rx_dropped_collision += 1
                 if m is not None:
                     m.incr("radio.drops.collision")
+                if tid is not None:
+                    rec.hop("radio", "drop.collision", trace_id=tid,
+                            host=rx.name, t=self.sim.now)
                 continue
             p_ok = self.loss_model.success_probability(rssi)
             p_ok *= 1.0 - self._jamming_loss(entry.channel, rx)
@@ -249,12 +271,26 @@ class Medium:
                 rx.rx_dropped_loss += 1
                 if m is not None:
                     m.incr("radio.drops.loss")
+                if tid is not None:
+                    rec.hop("radio", "drop.loss", trace_id=tid,
+                            host=rx.name, t=self.sim.now,
+                            rssi=round(rssi, 1))
                 continue
             rx.rx_frames += 1
             if m is not None:
                 m.incr("radio.deliveries")
                 m.observe("radio.rssi_dbm", rssi, lo=-100.0, hi=-20.0, bins=40)
-            rx.on_receive(entry.frame, rssi, entry.channel)
+            if tid is None:
+                rx.on_receive(entry.frame, rssi, entry.channel)
+            else:
+                rec.hop("radio", "rx", trace_id=tid, host=rx.name,
+                        t=self.sim.now, rssi=round(rssi, 1),
+                        channel=entry.channel)
+                # Everything the receiver does synchronously with this
+                # frame — decap, IP, TCP, app, and any frames it sends
+                # in response — is causally downstream of it.
+                with rec.frame_context(tid):
+                    rx.on_receive(entry.frame, rssi, entry.channel)
 
     def _channel_rejection(self, tx_channel: int, rx: RadioPort) -> Optional[float]:
         """dB of attenuation rx applies to tx_channel, or None if deaf to it."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import active_profiler
 from repro.sim.errors import SimulationError
 from repro.sim.rng import SimRandom
@@ -118,6 +119,13 @@ class Simulator:
         self.rng = SimRandom(seed)
         self.trace = Trace()
         self.trace.bind_clock(lambda: self._now)
+        rec = flight_recorder()
+        if rec is not None:
+            # Write-only registration: the flight recorder never feeds
+            # anything back into the simulation (zero perturbation); it
+            # just lets the trace CLI correlate lineage hops with the
+            # simulator's own event trace.
+            rec.attach_sim_trace(self.trace)
 
     # ------------------------------------------------------------------
     # time

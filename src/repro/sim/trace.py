@@ -36,6 +36,12 @@ class TraceRecord:
     source: str
     detail: dict[str, Any] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Defensive copy: the record is frozen but a dict is not, and a
+        # caller mutating the dict it passed in (or the one returned by
+        # to_dict) must not rewrite recorded history.
+        object.__setattr__(self, "detail", dict(self.detail))
+
     def __str__(self) -> str:
         kv = " ".join(f"{k}={v!r}" for k, v in self.detail.items())
         return f"[{self.time:10.6f}] {self.category:<24} {self.source:<16} {kv}"
@@ -133,6 +139,17 @@ class Trace:
             ):
                 continue
             yield rec
+
+    def between(self, t0: float, t1: float,
+                category: Optional[str] = None, **kw: Any) -> Iterator[TraceRecord]:
+        """Records with ``t0 <= time <= t1`` (plus any :meth:`select` filters)."""
+        for rec in self.select(category=category, since=t0, **kw):
+            if rec.time <= t1:
+                yield rec
+
+    def matching(self, prefix: str) -> Iterator[TraceRecord]:
+        """Records whose category starts with ``prefix`` (e.g. ``"netsed."``)."""
+        return self.select(category=prefix)
 
     def count(self, category: Optional[str] = None, **kw: Any) -> int:
         """Number of records matching the filters of :meth:`select`."""

@@ -175,6 +175,73 @@ def test_cli_sweep_without_metrics_flag_ships_none(tmp_path, capsys):
     assert payload["metrics"] is None  # collection off => nothing shipped
 
 
+def test_cli_trace_fig2_reconstructs_the_mitm_path(tmp_path, capsys):
+    pcap = tmp_path / "frames.pcap"
+    chrome = tmp_path / "trace.json"
+    assert main(["trace", "FIG2", "--pcap", str(pcap),
+                 "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    # the hop-by-hop Fig-2 path: victim, rogue bridge, rewrite, upstream
+    assert "MITM path" in out
+    assert "netsed.rewrite@rogue-gw" in out
+    assert "nic.deliver@rogue-gw:eth1" in out
+    assert "nic.deliver@victim:wlan0" in out
+    # before/after payload diff around the rewrite
+    assert "href=file.tgz" in out
+    assert "href=http:%2f%2f198.51.100.66" in out
+    # sim-trace corroboration via Trace.between/matching
+    assert "netsed.* event(s)" in out
+    # exports landed and announced themselves
+    assert "linktype 105" in out and "Perfetto" in out
+    assert pcap.read_bytes()[:4] == b"\xd4\xc3\xb2\xa1"  # LE pcap magic
+    assert json.loads(chrome.read_text())["traceEvents"]
+
+
+def test_cli_trace_follow_prints_one_lineage(capsys):
+    assert main(["trace", "FIG2", "--follow", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "#2 in full" in out
+
+
+def test_cli_trace_follow_unknown_id(capsys):
+    assert main(["trace", "E-8021X", "--follow", "999999"]) == 1
+    assert "not in the ring buffer" in capsys.readouterr().err
+
+
+def test_cli_trace_unknown_experiment(capsys):
+    assert main(["trace", "E-NOPE"]) == 2
+    assert "E-NOPE" in capsys.readouterr().err
+
+
+def test_cli_trace_without_rewrite_falls_back_to_longest_chain(capsys):
+    assert main(["trace", "E-DETECT"]) == 0
+    out = capsys.readouterr().out
+    assert "no netsed rewrite recorded" in out
+    assert "longest causal chain" in out
+
+
+def test_cli_trace_frameless_experiment(capsys):
+    assert main(["trace", "E-8021X"]) == 0
+    assert "no frames recorded" in capsys.readouterr().out
+
+
+def test_cli_sweep_flight_recorder_ships_lineage_samples(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    assert main(["sweep", "FIG2", "--trials", "2", "--workers", "2",
+                 "--flight-recorder", "8", "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "lineage sample(s)" in out and "merged in seed order" in out
+    payload = json.loads(out_file.read_text())
+    lineages = payload["lineages"]
+    assert lineages and {ln["seed"] for ln in lineages} == {1000, 1001}
+    for ln in lineages:
+        assert {"trace_id", "kind", "origin", "t0", "hops"} <= set(ln)
+    # without the flag nothing ships
+    assert main(["sweep", "E-8021X", "--trials", "2",
+                 "--json", str(out_file)]) == 0
+    assert json.loads(out_file.read_text())["lineages"] is None
+
+
 def test_cli_report_writes_markdown(tmp_path, monkeypatch, capsys):
     """The report command runs the registry and writes a markdown file
     (patched down to one fast experiment to keep the test quick)."""

@@ -231,6 +231,53 @@ def test_collect_metrics_wraps_trial_outcome_trials():
     assert result.stats.values == [1000.0, 1001.0]
 
 
+def lineage_trial(seed):
+    """Transmits `seed % 3 + 1` frames through an ambient flight recorder."""
+    from repro.obs.lineage import flight_recorder
+    rec = flight_recorder()
+    if rec is not None:
+        for i in range(seed % 3 + 1):
+            tid = rec.begin("dot11", f"host{seed}", float(i))
+            rec.hop("radio", "tx", trace_id=tid, host=f"host{seed}")
+            rec.attach_raw(tid, bytes(2000))
+    return float(seed)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_flight_recorder_ships_truncated_lineage_samples(workers):
+    result = run_campaign(4, lineage_trial, seed_base=1000, workers=workers,
+                          flight_recorder=2)
+    assert result.stats.values == [1000.0, 1001.0, 1002.0, 1003.0]
+    assert sorted(result.lineages) == [1000, 1001, 1002, 1003]
+    # ring capacity truncates worker-side: seed 1001 made 3 frames, 2 ship
+    assert [len(result.lineages[s]) for s in sorted(result.lineages)] == \
+        [2, 2, 1, 2]
+    # raw bytes are clipped for IPC
+    for sample in result.lineages.values():
+        for ln in sample:
+            assert len(bytes.fromhex(ln["raw"])) <= 256
+    merged = result.merged_lineages
+    assert [ln["seed"] for ln in merged] == [1000, 1000, 1001, 1001,
+                                             1002, 1003, 1003]
+
+
+def test_flight_recorder_off_by_default():
+    result = run_campaign(2, lineage_trial, workers=1)
+    assert result.lineages == {}
+    assert result.merged_lineages == []
+    assert result.to_json_dict()["lineages"] is None
+
+
+def test_flight_recorder_composes_with_metrics_and_traces():
+    result = run_campaign(2, traced_trial, workers=1, sample_traces=1,
+                          collect_metrics=True, flight_recorder=4)
+    # all three extras ride the same TrialOutcome
+    assert sorted(result.traces) == [1000]
+    assert sorted(result.metrics) == [1000, 1001]
+    assert sorted(result.lineages) == [1000, 1001]  # empty samples still ship
+    assert result.stats.values == [1000.0, 1001.0]
+
+
 # ----------------------------------------------------------------------
 # reduction helpers
 # ----------------------------------------------------------------------

@@ -15,6 +15,7 @@ from repro.core.registry import get_experiment
 from repro.core.scenario import build_corp_scenario
 from repro.fleet import run_campaign
 from repro.obs import collecting
+from repro.obs.lineage import recording
 
 
 def _run_fig2_world(seed):
@@ -90,6 +91,40 @@ def test_fig2_trace_contents_identical_with_obs_enabled():
     assert col.profiler.count("radio.fanout") > 0
 
 
+def test_fig2_world_identical_with_flight_recorder_on_off_absent():
+    absent_cats, absent_counters = _run_fig2_world(seed=11)
+    with recording() as rec:
+        on_cats, on_counters = _run_fig2_world(seed=11)
+    # tiny ring: heavy eviction pressure must not leak into the sim either
+    with recording(capacity=2, max_hops=1):
+        tiny_cats, tiny_counters = _run_fig2_world(seed=11)
+    assert on_cats == absent_cats == tiny_cats
+    assert on_counters == absent_counters == tiny_counters
+    # the recorder did observe the world it didn't perturb: the full
+    # MITM chain including the netsed rewrite is in the ring
+    assert len(rec) > 0
+    rewrites = list(rec.find_hops("netsed", "rewrite"))
+    assert rewrites, "FIG2 world must record the netsed rewrite hop"
+    lineage, hop = rewrites[0]
+    assert hop.detail["replacements"] >= 1
+    assert "before" in hop.detail and "after" in hop.detail
+    # causal chain reaches back past the bridge to the victim's radio
+    chain = rec.ancestors(lineage.trace_id)
+    assert len(chain) > 1
+    # and forward to the tampered payload landing on the victim's NIC
+    assert any(h.layer == "nic" and h.action == "deliver"
+               and h.host.startswith("victim")
+               for d in rec.descendants(lineage.trace_id) for h in d.hops)
+
+
+def test_recorder_capacity_bounds_hold_under_a_full_world():
+    with recording(capacity=32, max_hops=4) as rec:
+        _run_fig2_world(seed=11)
+    assert len(rec) <= 32
+    assert rec.evicted > 0  # FIG2 generates far more than 32 frames
+    assert all(len(ln.hops) <= 4 for ln in rec.lineages())
+
+
 def test_fleet_merged_metrics_identical_serial_vs_parallel():
     serial = run_campaign(4, fig2_compromise_trial, seed_base=300,
                           collect_metrics=True)
@@ -111,3 +146,21 @@ def test_collect_metrics_does_not_change_trial_values():
     assert plain.per_seed == collected.per_seed
     assert plain.metrics == {}
     assert plain.merged_metrics is None
+
+
+def test_fleet_lineage_samples_identical_serial_vs_parallel():
+    serial = run_campaign(3, fig2_compromise_trial, seed_base=300,
+                          flight_recorder=16)
+    parallel = run_campaign(3, fig2_compromise_trial, seed_base=300,
+                            workers=3, flight_recorder=16)
+    # recording never changes trial values, and the shipped samples are
+    # a pure function of the seed: serial == parallel, dict-for-dict
+    plain = run_campaign(3, fig2_compromise_trial, seed_base=300)
+    assert serial.per_seed == parallel.per_seed == plain.per_seed
+    assert serial.lineages == parallel.lineages
+    assert set(serial.lineages) == {300, 301, 302}
+    assert all(len(sample) <= 16 for sample in serial.lineages.values())
+    assert serial.merged_lineages == parallel.merged_lineages
+    assert [ln["seed"] for ln in serial.merged_lineages] == \
+        sorted(ln["seed"] for ln in serial.merged_lineages)
+    assert plain.lineages == {} and plain.merged_lineages == []

@@ -1,0 +1,127 @@
+"""pcap / Chrome-trace export: verified with an independent stdlib reader."""
+
+import io
+import json
+import struct
+
+from repro.obs.export import (LINKTYPE_IEEE802_11, PCAP_MAGIC, PCAP_SNAPLEN,
+                              PCAP_VERSION, chrome_trace_dict, pcap_bytes,
+                              write_chrome_trace, write_pcap)
+from repro.obs.lineage import FlightRecorder
+
+
+def read_pcap(data: bytes):
+    """Minimal independent pcap reader (struct only, no repro code).
+
+    Returns (header_fields, [(ts_sec, ts_usec, orig_len, payload), ...]).
+    """
+    magic, vmaj, vmin, thiszone, sigfigs, snaplen, linktype = \
+        struct.unpack_from("<IHHiIII", data, 0)
+    offset = 24
+    records = []
+    while offset < len(data):
+        ts_sec, ts_usec, incl_len, orig_len = \
+            struct.unpack_from("<IIII", data, offset)
+        offset += 16
+        records.append((ts_sec, ts_usec, orig_len,
+                        data[offset:offset + incl_len]))
+        offset += incl_len
+    assert offset == len(data), "trailing garbage after last record"
+    return (magic, vmaj, vmin, thiszone, sigfigs, snaplen, linktype), records
+
+
+def _recorder_with_frames():
+    rec = FlightRecorder()
+    a = rec.begin("dot11", "victim:wlan0", 1.25)
+    rec.attach_raw(a, b"\x08\x01" + bytes(range(30)))
+    rec.hop("radio", "tx", trace_id=a, host="victim:wlan0", t=1.25)
+    b = rec.begin("dot11", "corp-ap", 0.5, parent=a)  # earlier t0: order check
+    rec.attach_raw(b, bytes(64))
+    rec.begin("ether", "rogue-gw", 2.0, parent=a)     # not 802.11: excluded
+    no_raw = rec.begin("dot11", "x", 3.0)             # no bytes: excluded
+    assert rec.get(no_raw).raw is None
+    return rec, a, b
+
+
+# ----------------------------------------------------------------------
+# pcap
+# ----------------------------------------------------------------------
+
+def test_pcap_global_header():
+    header, records = read_pcap(pcap_bytes(FlightRecorder()))
+    assert header == (PCAP_MAGIC, *PCAP_VERSION, 0, 0, PCAP_SNAPLEN,
+                      LINKTYPE_IEEE802_11)
+    assert header[0] == 0xA1B2C3D4 and header[-1] == 105
+    assert records == []
+
+
+def test_pcap_records_roundtrip_bytes_and_timestamps():
+    rec, a, b = _recorder_with_frames()
+    header, records = read_pcap(pcap_bytes(rec))
+    assert len(records) == 2  # dot11-with-raw only
+    # sorted by t0, not insertion: frame b (t0=0.5) first
+    (s0, u0, o0, p0), (s1, u1, o1, p1) = records
+    assert (s0, u0) == (0, 500_000) and p0 == bytes(64) and o0 == 64
+    assert (s1, u1) == (1, 250_000)
+    assert p1 == rec.get(a).raw and o1 == len(rec.get(a).raw)
+
+
+def test_pcap_timestamp_rounding_never_reaches_one_second():
+    rec = FlightRecorder()
+    tid = rec.begin("dot11", "x", 5.9999996)  # rounds to 1_000_000 usec
+    rec.attach_raw(tid, b"\x00")
+    _, [(ts_sec, ts_usec, _, _)] = read_pcap(pcap_bytes(rec))
+    assert (ts_sec, ts_usec) == (6, 0)
+    assert ts_usec < 1_000_000
+
+
+def test_write_pcap_path_and_fileobj_agree(tmp_path):
+    rec, _, _ = _recorder_with_frames()
+    path = tmp_path / "frames.pcap"
+    n = write_pcap(str(path), rec)
+    buf = io.BytesIO()
+    assert write_pcap(buf, rec) == n == 2
+    assert path.read_bytes() == buf.getvalue() == pcap_bytes(rec)
+
+
+def test_pcap_accepts_a_plain_lineage_iterable():
+    rec, a, _ = _recorder_with_frames()
+    subset = [rec.get(a)]
+    _, records = read_pcap(pcap_bytes(subset))
+    assert len(records) == 1 and records[0][3] == rec.get(a).raw
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+
+def test_chrome_trace_structure():
+    rec, a, b = _recorder_with_frames()
+    doc = chrome_trace_dict(rec)
+    events = doc["traceEvents"]
+    by_ph = {}
+    for ev in events:
+        by_ph.setdefault(ev["ph"], []).append(ev)
+    # one X slice per lineage, one instant per hop
+    assert len(by_ph["X"]) == 4
+    assert len(by_ph["i"]) == 1
+    # parent/child links draw as s/f flow pairs (b<-a and ether<-a)
+    assert len(by_ph["s"]) == len(by_ph["f"]) == 2
+    # metadata names the process and every host track
+    thread_names = {ev["args"]["name"] for ev in by_ph["M"]
+                    if ev["name"] == "thread_name"}
+    assert {"victim:wlan0", "corp-ap", "rogue-gw"} <= thread_names
+    # timestamps are in microseconds
+    slice_a = next(ev for ev in by_ph["X"] if ev["args"]["trace_id"] == a)
+    assert slice_a["ts"] == 1.25e6
+
+
+def test_chrome_trace_is_json_serializable_and_counted(tmp_path):
+    rec, _, _ = _recorder_with_frames()
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(str(path), rec)
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n
+    buf = io.StringIO()
+    assert write_chrome_trace(buf, rec) == n
+    assert json.loads(buf.getvalue()) == doc
