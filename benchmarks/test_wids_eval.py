@@ -1,0 +1,40 @@
+"""E-WIDS — streaming detector bank vs the paper's rogue-AP worlds.
+
+Expected shape:
+
+* naive rogue world: the first alert lands *before* the netsed rewrite
+  (detection beats compromise), and every beacon-visible detector fires;
+* evasive rogue world: seqctl mirroring + cadence matching silence the
+  gap and jitter analyses, but the fingerprint and multi-channel
+  detectors still fire — a second radio on a second channel is
+  physically unhideable;
+* benign world: zero alerts at every threshold (zero false positives).
+"""
+
+from conftest import print_rows, run_once
+
+from repro.wids.experiment import exp_wids_eval
+
+
+def test_wids_eval(benchmark):
+    result = run_once(benchmark, exp_wids_eval, seed=1)
+    rows = result["scorecard"]["rows"]
+    print_rows("E-WIDS: detector bank confusion cells over threshold sweep",
+               rows)
+
+    # Detection beats compromise on the Fig. 1/Fig. 2 world.
+    assert result["alert_before_rewrite"], result["worlds"]["naive"]
+    # Zero-FP acceptance bar on the benign office.
+    assert result["benign_false_positives"] == 0
+    for row in rows:
+        assert row["fp"] == 0, row
+    # The arms race: evasion silences the sequence/jitter analyses ...
+    assert result["evasion"]["seqctl_evaded"]
+    assert result["evasion"]["jitter_evaded"]
+    # ... but the second radio on a second channel cannot hide.
+    assert result["evasion"]["unhideable"] == ["fingerprint", "multichannel"]
+    # Every detector earns its keep in at least one world.
+    detectors = {row["detector"] for row in rows}
+    for det in detectors:
+        assert any(row["tp"] > 0 for row in rows
+                   if row["detector"] == det), det

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.dot11.frames import ReasonCode, make_deauth
+from repro.dot11.frames import FrameSubtype, ReasonCode, make_deauth
 from repro.dot11.mac import BROADCAST, MacAddress
-from repro.dot11.seqctl import SequenceCounter
+from repro.dot11.seqctl import MirroredSequenceCounter, SequenceCounter
 from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
@@ -36,6 +36,13 @@ class DeauthAttacker:
         deauths (the ablation comparison in E-DEAUTH).
     rate_hz:
         Injection rate; the experiment's swept parameter.
+    mirror_seqctl:
+        WIDS evasion: listen to the spoofed AP and stamp injected
+        deauths as successors of its overheard sequence numbers
+        instead of from an arbitrary counter, defeating large-gap
+        analysis.  Turning this on makes the injector's radio a
+        *receiver*, which (unlike pure observation) legitimately
+        changes the simulated world.
     """
 
     def __init__(
@@ -49,20 +56,30 @@ class DeauthAttacker:
         target: Optional[MacAddress] = None,
         rate_hz: float = 10.0,
         name: str = "deauth-attacker",
+        mirror_seqctl: bool = False,
     ) -> None:
         self.sim = sim
         self.ap_bssid = ap_bssid
         self.target = target
         self.rate_hz = rate_hz
         self.port = RadioPort(name=name, position=position, channel=channel,
-                              tx_power_dbm=18.0)
+                              tx_power_dbm=18.0, promiscuous=mirror_seqctl)
         medium.attach(self.port)
-        # The injector spoofs the AP's sequence space poorly — real
-        # injectors pick arbitrary numbers, which is exactly what the
-        # §2.3 sequence-control monitor detects.
-        self.seqctl = SequenceCounter(sim.rng.substream(f"seq.{name}").randrange(0, 4096))
+        if mirror_seqctl:
+            # Evasion mode: shadow the AP's real counter.
+            self.seqctl = MirroredSequenceCounter()
+            self.port.on_receive = self._overhear
+        else:
+            # The injector spoofs the AP's sequence space poorly — real
+            # injectors pick arbitrary numbers, which is exactly what the
+            # §2.3 sequence-control monitor detects.
+            self.seqctl = SequenceCounter(sim.rng.substream(f"seq.{name}").randrange(0, 4096))
         self.frames_injected = 0
         self._stop = None
+
+    def _overhear(self, frame, _rssi: float, _channel: int) -> None:
+        if frame.addr2 == self.ap_bssid and frame.subtype is not FrameSubtype.ACK:
+            self.seqctl.observe(frame.seq)
 
     def start(self) -> None:
         if self._stop is not None:

@@ -21,7 +21,9 @@ from repro.attacks.dns_mitm import DnsAnswerRewriter
 from repro.attacks.netsed import NetsedProxy, NetsedRule
 from repro.attacks.parprouted import Parprouted
 from repro.crypto.wep import WepKey
+from repro.dot11.frames import FrameSubtype
 from repro.dot11.mac import MacAddress
+from repro.dot11.seqctl import MirroredSequenceCounter
 from repro.hosts.ap_core import SoftApInterface
 from repro.hosts.host import Host
 from repro.hosts.linuxconf import LinuxBox
@@ -55,6 +57,9 @@ class RogueAccessPoint:
         gateway_ip: str = "10.0.0.1",
         name: str = "rogue-gw",
         tx_power_dbm: float = 18.0,
+        mirror_seqctl: bool = False,
+        beacon_jitter_s: float = 0.0,
+        match_beacon_cadence: bool = False,
     ) -> None:
         self.sim = sim
         self.ssid = ssid
@@ -66,11 +71,32 @@ class RogueAccessPoint:
         self.eth1 = WirelessInterface("eth1", client_mac, medium, position,
                                       tx_power_dbm=tx_power_dbm)
         self.host.add_interface(self.eth1)
+        # --- WIDS-evasion knobs (the rogue/detector arms race) --------
+        # match_beacon_cadence: discipline the soft-AP's TBTT to the
+        # crystal-exact 100 TU the legitimate AP keeps, defeating
+        # beacon-jitter analysis; beacon_jitter_s models the sloppy
+        # default soft-AP scheduler the analysis exists to catch.
+        self.mirror_seqctl = mirror_seqctl
+        self.beacon_jitter_s = 0.0 if match_beacon_cadence else beacon_jitter_s
+        self._mirror: Optional[MirroredSequenceCounter] = None
+        if mirror_seqctl:
+            # Shadow the legitimate AP's counter via the upstream card,
+            # which already sits on the legit channel hearing its BSS.
+            self._mirror = MirroredSequenceCounter()
+
+            def overhear(frame, _rssi: float, channel: int) -> None:
+                if (channel == legit_channel
+                        and frame.addr2 == clone_bssid
+                        and frame.subtype is not FrameSubtype.ACK):
+                    self._mirror.observe(frame.seq)
+
+            self.eth1.frame_tap = overhear
         # The master-mode card: the rogue BSS itself.
         self.wlan0 = SoftApInterface(
             "wlan0", medium, position,
             bssid=clone_bssid, ssid=ssid, channel=rogue_channel,
             wep_key=wep_key, wpa_psk=wpa_psk, tx_power_dbm=tx_power_dbm,
+            seqctl=self._mirror, beacon_jitter_s=self.beacon_jitter_s,
         )
         self.host.add_interface(self.wlan0)
         self.box = LinuxBox(self.host)

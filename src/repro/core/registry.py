@@ -12,6 +12,7 @@ from typing import Any, Callable
 
 from repro.core import experiments as E
 from repro.core.report import format_table
+from repro.wids import experiment as W
 
 __all__ = ["EXPERIMENTS", "ExperimentSpec", "SeededExperiment",
            "get_experiment", "render_result", "spec_accepts_seed"]
@@ -78,6 +79,9 @@ EXPERIMENTS: list[ExperimentSpec] = [
     ExperimentSpec("X-CONTAIN", "Active rogue containment",
                    "extension (§6)", E.exp_containment,
                    "benchmarks/test_extensions.py"),
+    ExperimentSpec("E-WIDS", "Streaming WIDS detector evaluation",
+                   "§2.3 + WIDS literature", W.exp_wids_eval,
+                   "benchmarks/test_wids_eval.py"),
 ]
 
 

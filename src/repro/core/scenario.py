@@ -136,6 +136,9 @@ def build_corp_scenario(
     rogue_channel: int = 6,
     rogue_position: Position = Position(38.0, 0.0),
     rogue_wep: str = "same",     # "same" | "none" | "cracked-later"
+    rogue_mirror_seqctl: bool = False,
+    rogue_beacon_jitter_s: float = 0.0,
+    rogue_match_beacon_cadence: bool = False,
     with_vpn_endpoint: bool = True,
     settle_s: float = 4.0,
 ) -> CorpScenario:
@@ -187,6 +190,9 @@ def build_corp_scenario(
             sim, medium, rogue_position,
             clone_bssid=LEGIT_BSSID, legit_channel=1,
             rogue_channel=rogue_channel, wep_key=rogue_key,
+            mirror_seqctl=rogue_mirror_seqctl,
+            beacon_jitter_s=rogue_beacon_jitter_s,
+            match_beacon_cadence=rogue_match_beacon_cadence,
         )
         scenario.rogue.start()
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.attacks.sniffer import MonitorSniffer
-from repro.defense.detection import SeqCtlMonitor, SpoofVerdict
+from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict
 from repro.dot11.frames import BROADCAST, ReasonCode, make_deauth
 from repro.dot11.mac import MacAddress
 from repro.dot11.seqctl import SequenceCounter

@@ -1,125 +1,18 @@
-"""Rogue-AP and MAC-spoof detection via sequence-control monitoring.
+"""Deprecated location: sequence-control monitoring moved to the WIDS.
 
-§2.3: "These techniques rely on monitoring 802.11b Sequence Control
-numbers"; reference [15] is Wright's *Detecting Wireless LAN MAC
-Address Spoofing*, whose core observation the monitor implements:
+The §2.3 :class:`SeqCtlMonitor` now lives in
+:mod:`repro.wids.detectors`, where it is the first entry of the
+pluggable detector registry alongside its streaming counterpart
+(:class:`repro.wids.detectors.SeqCtlAnomalyDetector`) and the rest of
+the rogue-AP detector bank.
 
-A single radio stamps frames from one monotonically increasing 12-bit
-counter, so consecutive frames from a given transmitter address show
-small forward gaps.  When a second radio transmits under the *same*
-address (a rogue cloning the AP's BSSID, a deauth injector spoofing
-the AP, a MAC-spoofing client), the merged stream shows large and
-*backward-jumping* gaps that one radio cannot produce.
+This module remains as a thin re-export shim so existing imports keep
+working; new code should import from :mod:`repro.wids.detectors` (or
+:mod:`repro.wids`) directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
-from repro.dot11.capture import FrameCapture
-from repro.dot11.frames import FrameSubtype
-from repro.dot11.mac import MacAddress
-from repro.dot11.seqctl import SEQ_MODULO, SequenceCounter
-from repro.obs.runtime import obs_metrics
+from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict
 
 __all__ = ["SeqCtlMonitor", "SpoofVerdict"]
-
-
-@dataclass
-class SpoofVerdict:
-    """Analysis result for one transmitter address."""
-
-    transmitter: MacAddress
-    frames: int
-    anomalies: int
-    max_gap: int
-    channels_seen: tuple[int, ...]
-    spoofed: bool
-    reason: str = ""
-
-    @property
-    def anomaly_rate(self) -> float:
-        return self.anomalies / self.frames if self.frames else 0.0
-
-
-class SeqCtlMonitor:
-    """Offline/online analyser over a monitor-mode capture.
-
-    Parameters
-    ----------
-    gap_threshold:
-        Forward gaps above this count as anomalies.  Healthy single
-        transmitters produce gaps of 1 (occasionally a handful under
-        loss — the monitor misses frames too, so the threshold trades
-        false positives against sensitivity: the E-DETECT ablation).
-    anomaly_rate_threshold:
-        Fraction of anomalous gaps above which the verdict is
-        "spoofed".
-    """
-
-    def __init__(self, capture: FrameCapture, *, gap_threshold: int = 64,
-                 anomaly_rate_threshold: float = 0.05) -> None:
-        self.capture = capture
-        self.gap_threshold = gap_threshold
-        self.anomaly_rate_threshold = anomaly_rate_threshold
-
-    def analyze_transmitter(self, mac: MacAddress) -> SpoofVerdict:
-        """Sequence-gap analysis for all frames claiming transmitter ``mac``."""
-        seqs: list[int] = []
-        channels: set[int] = set()
-        for cap in self.capture.select(transmitter=mac):
-            # Control frames (ACK) carry no sequence number; skip them.
-            if cap.frame.subtype is FrameSubtype.ACK:
-                continue
-            seqs.append(cap.frame.seq)
-            # Multi-channel evidence only counts for AP-role frames:
-            # scanning *clients* legitimately probe on every channel.
-            if cap.frame.subtype in (FrameSubtype.BEACON, FrameSubtype.PROBE_RESP):
-                channels.add(cap.channel)
-        anomalies = 0
-        max_gap = 0
-        for prev, cur in zip(seqs, seqs[1:]):
-            gap = SequenceCounter.gap(prev, cur)
-            # gap==0 (duplicate, not retry-flagged) and huge gaps are anomalies.
-            if gap == 0 or gap > self.gap_threshold:
-                anomalies += 1
-            if self.gap_threshold < gap < SEQ_MODULO:
-                max_gap = max(max_gap, gap)
-        rate = anomalies / max(1, len(seqs) - 1)
-        multichannel = len(channels) > 1
-        spoofed = False
-        reason = ""
-        if multichannel:
-            spoofed = True
-            reason = (f"one transmitter address beaconing on channels "
-                      f"{sorted(channels)} — two radios")
-        elif len(seqs) > 8 and rate >= self.anomaly_rate_threshold:
-            spoofed = True
-            reason = (f"interleaved sequence streams: {anomalies} anomalous "
-                      f"gaps in {len(seqs)} frames")
-        m = obs_metrics()
-        if m is not None:
-            m.incr("detect.analyses")
-            m.incr("detect.anomalies", anomalies)
-            if spoofed:
-                m.incr("detect.flagged")
-        return SpoofVerdict(
-            transmitter=mac,
-            frames=len(seqs),
-            anomalies=anomalies,
-            max_gap=max_gap,
-            channels_seen=tuple(sorted(channels)),
-            spoofed=spoofed,
-            reason=reason,
-        )
-
-    def analyze_all(self) -> list[SpoofVerdict]:
-        """Verdicts for every transmitter seen, flagged ones first."""
-        verdicts = [self.analyze_transmitter(mac)
-                    for mac in sorted(self.capture.transmitters())]
-        verdicts.sort(key=lambda v: (not v.spoofed, str(v.transmitter)))
-        return verdicts
-
-    def flagged(self) -> list[SpoofVerdict]:
-        return [v for v in self.analyze_all() if v.spoofed]

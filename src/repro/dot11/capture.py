@@ -49,7 +49,13 @@ class FrameCapture:
     def add(self, captured: CapturedFrame) -> None:
         self.frames.append(captured)
         if self.capacity is not None and len(self.frames) > self.capacity:
-            del self.frames[: self.capacity // 2]
+            # Evict the older half in one slice (amortised O(1) per add),
+            # but always at least enough to satisfy the invariant
+            # ``len(frames) <= capacity`` — with capacity=1 the old
+            # ``capacity // 2`` evicted nothing and the buffer grew
+            # without bound.
+            drop = max(len(self.frames) - self.capacity, self.capacity // 2)
+            del self.frames[:drop]
         for tap in self._taps:
             tap(captured)
 
@@ -110,7 +116,7 @@ class FrameCapture:
         Two different *radios* beaconing one SSID is the first hint of
         a rogue; note the catch that a rogue cloning the BSSID too (as
         in Fig. 1) is invisible to this view — only sequence-number
-        analysis (:mod:`repro.defense.detection`) separates those.
+        analysis (:mod:`repro.wids.detectors`) separates those.
         """
         out: dict[str, set[MacAddress]] = {}
         for cap in self.select(subtype=FrameSubtype.BEACON):

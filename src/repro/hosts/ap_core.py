@@ -120,6 +120,8 @@ class ApCore:
         mac_filter: Optional[MacFilter] = None,
         tx_power_dbm: float = 18.0,
         beaconing: bool = True,
+        seqctl=None,
+        beacon_jitter_s: float = 0.0,
     ) -> None:
         if wep_key is not None and wpa_psk is not None:
             from repro.sim.errors import ConfigurationError
@@ -137,7 +139,12 @@ class ApCore:
                               tx_power_dbm=tx_power_dbm)
         self.port.on_receive = self._on_radio
         medium.attach(self.port)
-        self.seqctl = SequenceCounter(sim.rng.substream(f"seq.{name}").randrange(0, 4096))
+        # ``seqctl`` injection point: an evading rogue substitutes a
+        # MirroredSequenceCounter here.  Skipping the substream draw is
+        # safe — substreams are independently seeded, so no other
+        # stream's values shift.
+        self.seqctl = (seqctl if seqctl is not None else
+                       SequenceCounter(sim.rng.substream(f"seq.{name}").randrange(0, 4096)))
         self.iv_gen = (
             IvGenerator("sequential",
                         start=sim.rng.substream(f"iv.{name}").randrange(0, 1 << 24))
@@ -151,8 +158,20 @@ class ApCore:
         #: for upstream-bound traffic from associated clients.
         self.on_client_frame: Optional[Callable[[MacAddress, MacAddress, int, bytes], None]] = None
         self._stop_beaconing = None
+        self._beacon_timer = None
+        self.beacon_jitter_s = beacon_jitter_s
         if beaconing:
-            self._stop_beaconing = sim.every(self.BEACON_INTERVAL_S, self._beacon)
+            if beacon_jitter_s > 0.0:
+                # A software-timed AP (hostap on a laptop): each TBTT
+                # slips by OS-scheduling jitter.  Own substream, so the
+                # jitter-free path stays byte-identical to before.
+                self._jitter_rng = sim.rng.substream(f"beaconjitter.{name}")
+                self._beacon_timer = sim.schedule(
+                    self.BEACON_INTERVAL_S
+                    + self._jitter_rng.uniform(0.0, beacon_jitter_s),
+                    self._jittered_beacon)
+            else:
+                self._stop_beaconing = sim.every(self.BEACON_INTERVAL_S, self._beacon)
         # counters
         self.associations_granted = 0
         self.data_relayed = 0
@@ -172,6 +191,12 @@ class ApCore:
                             timestamp=int(self.sim.now * 1e6),
                             seq=self.seqctl.next())
         self.port.transmit(frame)
+
+    def _jittered_beacon(self) -> None:
+        self._beacon()
+        delay = (self.BEACON_INTERVAL_S
+                 + self._jitter_rng.uniform(0.0, self.beacon_jitter_s))
+        self._beacon_timer = self.sim.schedule(delay, self._jittered_beacon)
 
     def send_to_client(self, dst_mac: MacAddress, src_mac: MacAddress,
                        ethertype: int, payload: bytes) -> None:
@@ -246,6 +271,9 @@ class ApCore:
     def shutdown(self) -> None:
         if self._stop_beaconing is not None:
             self._stop_beaconing()
+        if self._beacon_timer is not None:
+            self._beacon_timer.cancel()
+            self._beacon_timer = None
         self.port.enabled = False
 
     # ------------------------------------------------------------------
@@ -486,12 +514,15 @@ class SoftApInterface(Interface):
         wpa_psk: Optional[bytes] = None,
         mac_filter: Optional[MacFilter] = None,
         tx_power_dbm: float = 18.0,
+        seqctl=None,
+        beacon_jitter_s: float = 0.0,
     ) -> None:
         super().__init__(name, bssid)
         self._pending_core_args = dict(
             medium=medium, position=position, bssid=bssid, ssid=ssid,
             channel=channel, wep_key=wep_key, wpa_psk=wpa_psk,
             mac_filter=mac_filter, tx_power_dbm=tx_power_dbm,
+            seqctl=seqctl, beacon_jitter_s=beacon_jitter_s,
         )
         self.core: Optional[ApCore] = None
 
@@ -504,6 +535,7 @@ class SoftApInterface(Interface):
             position=args["position"], wep_key=args["wep_key"],
             wpa_psk=args["wpa_psk"], mac_filter=args["mac_filter"],
             tx_power_dbm=args["tx_power_dbm"],
+            seqctl=args["seqctl"], beacon_jitter_s=args["beacon_jitter_s"],
         )
         self.core.on_client_frame = self._from_client
 

@@ -274,6 +274,11 @@ class WirelessInterface(Interface):
         # callbacks for experiments
         self.on_associated: Optional[Callable[[MacAddress, int], None]] = None
         self.on_deauthenticated: Optional[Callable[[int], None]] = None
+        # Raw-frame observation hook: called with (frame, rssi, channel)
+        # for every frame the radio hears, before any station-state
+        # processing.  The seqctl-mirroring rogue uses its upstream
+        # card's tap to shadow the legitimate AP's counter.
+        self.frame_tap: Optional[Callable[[Dot11Frame, float, int], None]] = None
         # counters
         self.associations = 0
         self.deauths_received = 0
@@ -513,6 +518,8 @@ class WirelessInterface(Interface):
     # reception
     # ------------------------------------------------------------------
     def _on_radio(self, frame: Dot11Frame, rssi: float, channel: int) -> None:
+        if self.frame_tap is not None:
+            self.frame_tap(frame, rssi, channel)
         subtype = frame.subtype
         if subtype in (FrameSubtype.BEACON, FrameSubtype.PROBE_RESP):
             self._on_beacon(frame, rssi, channel)

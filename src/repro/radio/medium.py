@@ -27,6 +27,7 @@ from repro.obs.runtime import active_profiler, obs_metrics
 from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
 from repro.sim.errors import ConfigurationError
 from repro.sim.kernel import Simulator
+from repro.wids.runtime import active_wids
 
 __all__ = ["Medium", "RadioPort"]
 
@@ -244,6 +245,13 @@ class Medium:
     def _fan_out(self, entry: _InFlight) -> None:
         if entry in self._inflight:
             self._inflight.remove(entry)
+        # Offer the frame to the ambient WIDS watch *before* any
+        # per-receiver work: no RNG has been drawn for this delivery
+        # yet, so observing here cannot perturb the world (the same
+        # zero-perturbation placement the determinism goldens pin).
+        wids = active_wids()
+        if wids is not None:
+            wids.offer(self, entry.frame, entry.channel, self.sim.now)
         tx_port = entry.port
         m = obs_metrics()
         rec = flight_recorder()

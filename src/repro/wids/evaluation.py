@@ -1,0 +1,243 @@
+"""Detection-quality evaluation: confusion matrices, ROC, time-to-detect.
+
+Ground truth comes from the scenario itself — we *built* the world, so
+we know whether a rogue is present and when the attack started.
+:func:`evaluate` replays a finished capture offline once per
+(detector, threshold) point of each detector's ``SWEEP`` ladder and
+scores the world-level binary decision:
+
+=====================  ======================  =====================
+                        rogue present           rogue absent
+=====================  ======================  =====================
+detector alerted        true positive (tp)      false positive (fp)
+detector silent         false negative (fn)     true negative (tn)
+=====================  ======================  =====================
+
+Every cell is an obs-registry **counter** and time-to-detect is a
+**timer**, so the scores obey the fleet ``merge()`` law: per-seed
+registries reduce in seed order to exactly the counts a serial pass
+would produce — ``sweep --wids`` merged scorecards are bit-identical
+serial vs parallel for free.
+
+Metric names::
+
+    wids.eval.<detector>.thr<T>.{tp,fp,fn,tn}   counters, one world each
+    wids.eval.<detector>.ttd_s                  timer, default threshold
+
+:class:`Scorecard` renders any registry (or merged snapshot) holding
+those names back into rows, ROC points, tables, and JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dot11.capture import FrameCapture
+from repro.obs.metrics import CounterMetric, MetricsRegistry, TimerMetric
+from repro.obs.runtime import obs_metrics
+from repro.wids.detectors import DETECTORS
+from repro.wids.engine import WidsEngine
+
+__all__ = ["GroundTruth", "Scorecard", "evaluate"]
+
+_CELLS = ("tp", "fp", "fn", "tn")
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Scenario-derived label for one simulated world."""
+
+    rogue_present: bool
+    attack_start_s: float = 0.0
+
+
+def _thr_token(threshold: float) -> str:
+    """``3.0 -> "thr3"``, ``0.5 -> "thr0_5"`` (dot-free for metric names)."""
+    return "thr" + f"{threshold:g}".replace(".", "_")
+
+
+def _thr_value(token: str) -> float:
+    return float(token[3:].replace("_", "."))
+
+
+def evaluate(
+    capture: FrameCapture,
+    truth: GroundTruth,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Score every registered detector over one world's capture.
+
+    Writes ``wids.eval.*`` into ``registry`` (a fresh one when omitted)
+    **and** into the ambient :func:`obs_metrics` registry when one is
+    installed — the local copy keeps experiment payloads independent of
+    ambient observability state (zero-perturbation), the ambient copy
+    is what the fleet ships and merges.
+    """
+    local = registry if registry is not None else MetricsRegistry()
+    ambient = obs_metrics()
+
+    def incr(name: str) -> None:
+        local.incr(name)
+        if ambient is not None and ambient is not local:
+            ambient.incr(name)
+
+    def add_time(name: str, seconds: float) -> None:
+        local.add_time(name, seconds)
+        if ambient is not None and ambient is not local:
+            ambient.add_time(name, seconds)
+
+    for name, cls in DETECTORS.items():
+        for threshold in cls.SWEEP:
+            engine = WidsEngine([cls(threshold=threshold)],
+                                record_metrics=False)
+            engine.scan(capture)
+            alerted = bool(engine.alerts)
+            if truth.rogue_present:
+                cell = "tp" if alerted else "fn"
+            else:
+                cell = "fp" if alerted else "tn"
+            incr(f"wids.eval.{name}.{_thr_token(threshold)}.{cell}")
+            if (alerted and truth.rogue_present
+                    and threshold == cls.default_threshold):
+                first = engine.alerts[0]
+                add_time(f"wids.eval.{name}.ttd_s",
+                         max(0.0, first.t - truth.attack_start_s))
+    return local
+
+
+@dataclass
+class ScoreRow:
+    """One (detector, threshold) confusion cell set with derived rates."""
+
+    detector: str
+    threshold: float
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    # recall and tpr coincide; both names kept for ROC readability
+    @property
+    def tpr(self) -> float:
+        return self.recall
+
+    @property
+    def fpr(self) -> float:
+        return self.fp / (self.fp + self.tn) if (self.fp + self.tn) else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "threshold": self.threshold,
+            "tp": self.tp, "fp": self.fp, "fn": self.fn, "tn": self.tn,
+            "precision": self.precision, "recall": self.recall,
+            "fpr": self.fpr,
+        }
+
+
+class Scorecard:
+    """Rows/ROC/tables over ``wids.eval.*`` metrics from any registry."""
+
+    def __init__(self, rows: List[ScoreRow],
+                 ttd: Dict[str, dict]) -> None:
+        self._rows = rows
+        self._ttd = ttd  # detector -> TimerMetric.to_dict()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "Scorecard":
+        cells: Dict[Tuple[str, float], Dict[str, int]] = {}
+        ttd: Dict[str, dict] = {}
+        for metric_name, metric in registry.subtree("wids.eval").items():
+            parts = metric_name.split(".")
+            if parts[-1] == "ttd_s" and isinstance(metric, TimerMetric):
+                ttd[".".join(parts[2:-1])] = metric.to_dict()
+                continue
+            if len(parts) < 5 or parts[-1] not in _CELLS:
+                continue
+            if not isinstance(metric, CounterMetric):
+                continue
+            detector = ".".join(parts[2:-2])
+            try:
+                threshold = _thr_value(parts[-2])
+            except ValueError:
+                continue
+            cell = cells.setdefault((detector, threshold),
+                                    dict.fromkeys(_CELLS, 0))
+            cell[parts[-1]] = metric.value
+        rows = [ScoreRow(detector=det, threshold=thr, **counts)
+                for (det, thr), counts in cells.items()]
+        rows.sort(key=lambda r: (r.detector, r.threshold))
+        return cls(rows, ttd)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "Scorecard":
+        return cls.from_registry(MetricsRegistry.from_snapshot(snapshot))
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def rows(self) -> List[ScoreRow]:
+        return list(self._rows)
+
+    def detectors(self) -> List[str]:
+        return sorted({r.detector for r in self._rows})
+
+    def roc(self, detector: str) -> List[Tuple[float, float, float]]:
+        """``(fpr, tpr, threshold)`` points, descending threshold."""
+        points = [(r.fpr, r.tpr, r.threshold) for r in self._rows
+                  if r.detector == detector]
+        points.sort(key=lambda p: -p[2])
+        return points
+
+    def ttd(self, detector: str) -> Optional[dict]:
+        """Merged time-to-detect timer dict, or None if never detected."""
+        return self._ttd.get(detector)
+
+    def mean_ttd_s(self, detector: str) -> Optional[float]:
+        t = self._ttd.get(detector)
+        if not t or not t.get("count"):
+            return None
+        return t["total_s"] / t["count"]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def report(self, *, title: str = "WIDS evaluation scorecard") -> str:
+        # Imported here, not at module level: the radio layer imports
+        # repro.wids (for the ambient watch), and repro.core imports
+        # the radio layer — a module-level import would be a cycle.
+        from repro.core.report import format_table
+        rows = []
+        for r in self._rows:
+            mean_ttd = self.mean_ttd_s(r.detector)
+            rows.append([
+                r.detector, f"{r.threshold:g}", r.tp, r.fp, r.fn, r.tn,
+                r.precision, r.recall, r.fpr,
+                f"{mean_ttd:.3f}" if mean_ttd is not None else "-",
+            ])
+        return format_table(
+            ["detector", "thr", "tp", "fp", "fn", "tn",
+             "precision", "recall", "fpr", "mean_ttd_s"],
+            rows, title=title)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rows": [r.to_dict() for r in self._rows],
+            "roc": {det: [{"fpr": p[0], "tpr": p[1], "threshold": p[2]}
+                          for p in self.roc(det)]
+                    for det in self.detectors()},
+            "time_to_detect_s": dict(self._ttd),
+        }

@@ -1,0 +1,153 @@
+"""E-WIDS: score the detector bank against the paper's rogue-AP worlds.
+
+Three worlds per seed, one evaluation registry:
+
+* **naive** — the Fig. 1/Fig. 2 rogue exactly as §4 builds it (plus a
+  sloppy soft-AP beacon scheduler), download MITM armed, victim
+  downloading.  Every detector should fire, and the first alert must
+  land *before* the netsed rewrite reaches the victim — detection
+  beats compromise.
+* **evasive** — the same rogue running the evasion playbook:
+  ``mirror_seqctl`` (stamp frames as successors of the overheard
+  legitimate counter) and ``match_beacon_cadence`` (crystal-exact
+  TBTT).  Gap analysis and jitter analysis go quiet; the fingerprint
+  and multi-channel detectors still fire, because a second radio on a
+  second channel is physically unhideable.
+* **deauth-flood** — no rogue BSS, but a §4 deauth injector hammering
+  the legitimate AP's identity.  The flood detector and the seqctl
+  detector (the injector's arbitrary counter interleaves with the real
+  AP's) carry this world; the beacon detectors rightly stay silent, so
+  the merged scorecard shows the *bank's* complementary coverage — no
+  single detector sees every attack.
+* **benign** — the same office with no rogue at all: any alert is a
+  false positive, and the acceptance bar is zero.
+
+Confusion cells and time-to-detect go through
+:func:`repro.wids.evaluation.evaluate` into both a local registry (the
+returned payload is independent of ambient observability — the
+zero-perturbation discipline) and the ambient obs registry, where the
+fleet's seed-order ``merge()`` makes ``sweep --wids`` scorecards
+bit-identical serial vs parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.deauth import DeauthAttacker
+from repro.attacks.sniffer import MonitorSniffer
+from repro.core.scenario import LEGIT_BSSID, build_corp_scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.radio.propagation import Position
+from repro.wids.engine import WidsEngine
+from repro.wids.evaluation import GroundTruth, Scorecard, evaluate
+
+__all__ = ["exp_wids_eval"]
+
+#: Beacon-scheduler slop for the naive rogue: a default hostap-style
+#: soft AP misses TBTT by multiple milliseconds under load.
+SLOPPY_BEACON_JITTER_S = 0.03
+
+
+def _run_world(seed: int, *, rogue: bool, mirror: bool = False,
+               jitter_s: float = 0.0, cadence_match: bool = False,
+               registry: Optional[MetricsRegistry] = None) -> dict:
+    """One labelled world: build, watch, attack (maybe), download, score."""
+    scenario = build_corp_scenario(
+        seed=seed,
+        with_rogue=rogue,
+        rogue_mirror_seqctl=mirror,
+        rogue_beacon_jitter_s=jitter_s,
+        rogue_match_beacon_cadence=cadence_match,
+    )
+    sniffer = MonitorSniffer(scenario.sim, scenario.medium, Position(15.0, 5.0))
+    engine = WidsEngine()
+    engine.attach(sniffer.capture)          # live tap: alerts as frames land
+    if rogue:
+        scenario.arm_download_mitm()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    outcome = scenario.run_download_experiment(victim)
+    evaluate(sniffer.capture,
+             GroundTruth(rogue_present=rogue, attack_start_s=0.0),
+             registry=registry)
+    netsed_times = [rec.time for rec in scenario.sim.trace.records
+                    if rec.category.startswith("netsed.")]
+    alerts = engine.alerts
+    return {
+        "alerts": [a.to_dict() for a in alerts],
+        "alert_count": len(alerts),
+        "alerted_detectors": sorted({a.detector for a in alerts}),
+        "first_alert_t": alerts[0].t if alerts else None,
+        "first_netsed_t": min(netsed_times) if netsed_times else None,
+        "seqctl_evidence": engine.correlator.evidence_score(
+            "seqctl", str(LEGIT_BSSID)),
+        "compromised": outcome.compromised,
+        "frames_seen": engine.frames_seen,
+    }
+
+
+def _run_deauth_world(seed: int,
+                      registry: Optional[MetricsRegistry]) -> dict:
+    """No rogue BSS — a deauth injector spoofing the legitimate AP."""
+    scenario = build_corp_scenario(seed=seed, with_rogue=False)
+    sniffer = MonitorSniffer(scenario.sim, scenario.medium, Position(15.0, 5.0))
+    engine = WidsEngine()
+    engine.attach(sniffer.capture)
+    scenario.add_victim()
+    attack_start = scenario.sim.now
+    attacker = DeauthAttacker(scenario.sim, scenario.medium,
+                              Position(30.0, 0.0),
+                              ap_bssid=LEGIT_BSSID, channel=1, rate_hz=10.0)
+    attacker.start()
+    scenario.sim.run_for(20.0)
+    attacker.stop()
+    evaluate(sniffer.capture,
+             GroundTruth(rogue_present=True, attack_start_s=attack_start),
+             registry=registry)
+    alerts = engine.alerts
+    return {
+        "alerts": [a.to_dict() for a in alerts],
+        "alert_count": len(alerts),
+        "alerted_detectors": sorted({a.detector for a in alerts}),
+        "first_alert_t": alerts[0].t if alerts else None,
+        "frames_injected": attacker.frames_injected,
+        "frames_seen": engine.frames_seen,
+    }
+
+
+def exp_wids_eval(seed: int = 1) -> dict:
+    """Run naive / evasive / deauth / benign worlds; return the scorecard."""
+    registry = MetricsRegistry()
+    naive = _run_world(seed, rogue=True, jitter_s=SLOPPY_BEACON_JITTER_S,
+                       registry=registry)
+    evasive = _run_world(seed, rogue=True, mirror=True, cadence_match=True,
+                         registry=registry)
+    deauth = _run_deauth_world(seed, registry)
+    benign = _run_world(seed, rogue=False, registry=registry)
+    scorecard = Scorecard.from_registry(registry)
+    alert_before_rewrite = (
+        naive["first_alert_t"] is not None
+        and naive["first_netsed_t"] is not None
+        and naive["first_alert_t"] < naive["first_netsed_t"]
+    )
+    return {
+        "worlds": {"naive": naive, "evasive": evasive,
+                   "deauth": deauth, "benign": benign},
+        # detection beats compromise: the alert precedes the rewrite
+        "alert_before_rewrite": alert_before_rewrite,
+        "benign_false_positives": benign["alert_count"],
+        "evasion": {
+            "naive_seqctl_evidence": naive["seqctl_evidence"],
+            "evasive_seqctl_evidence": evasive["seqctl_evidence"],
+            "seqctl_evaded": (
+                evasive["seqctl_evidence"] < naive["seqctl_evidence"]
+                and "seqctl" not in evasive["alerted_detectors"]
+            ),
+            "jitter_evaded": "beacon-jitter" not in evasive["alerted_detectors"],
+            "unhideable": sorted(
+                set(evasive["alerted_detectors"])
+                & {"fingerprint", "multichannel"}),
+        },
+        "scorecard": scorecard.to_json_dict(),
+    }

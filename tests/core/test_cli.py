@@ -15,7 +15,7 @@ def test_registry_covers_design_index():
     paper = {"FIG1", "FIG2", "FIG3", "E-WEP", "E-MAC", "E-FMS",
              "E-DEAUTH", "E-NETSED", "E-WIRED", "E-VPNOH",
              "E-DETECT", "E-PROM", "E-CNN", "E-8021X"}
-    extensions = {"X-PATH", "X-CONTAIN"}
+    extensions = {"X-PATH", "X-CONTAIN", "E-WIDS"}
     assert ids == paper | extensions
 
 
@@ -240,6 +240,72 @@ def test_cli_sweep_flight_recorder_ships_lineage_samples(tmp_path, capsys):
     assert main(["sweep", "E-8021X", "--trials", "2",
                  "--json", str(out_file)]) == 0
     assert json.loads(out_file.read_text())["lineages"] is None
+
+
+def test_cli_wids_e_wids_timeline_and_scorecard(tmp_path, capsys):
+    out_file = tmp_path / "scorecard.json"
+    assert main(["wids", "E-WIDS", "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "wids-watching E-WIDS" in out
+    assert "alert timeline" in out
+    # the ambient watch hears the rogue worlds' cloned identity
+    assert "fingerprint" in out and "multichannel" in out
+    # the E-WIDS runner recorded wids.eval.* metrics -> scorecard table
+    assert "WIDS evaluation scorecard" in out
+    assert "mean_ttd_s" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "E-WIDS"
+    assert payload["alerts"], "ambient watch produced no alerts"
+    for alert in payload["alerts"]:
+        assert {"detector", "subject", "t", "score", "severity"} <= set(alert)
+    assert payload["scorecard"]["rows"]
+    # alerts carry flight-recorder lineage ids (the watch ran under
+    # recording()), so `trace --follow` can chase any of them
+    assert any(alert["trace_ids"] for alert in payload["alerts"])
+
+
+def test_cli_wids_frameless_experiment(capsys):
+    assert main(["wids", "E-8021X"]) == 0
+    out = capsys.readouterr().out
+    assert "no alerts" in out
+
+
+def test_cli_wids_unknown_experiment(capsys):
+    assert main(["wids", "E-NOPE"]) == 2
+    assert "E-NOPE" in capsys.readouterr().err
+
+
+def test_cli_wids_malformed_json_path(tmp_path, capsys):
+    bad = tmp_path / "not-a-dir" / "scorecard.json"
+    assert main(["wids", "E-8021X", "--json", str(bad)]) == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_cli_sweep_wids_merged_scorecard(tmp_path, capsys):
+    out_file = tmp_path / "wids.json"
+    assert main(["sweep", "E-WIDS", "--trials", "2", "--workers", "2",
+                 "--wids", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "Merged WIDS scorecard" in out
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "E-WIDS"
+    assert payload["trials"] == 2
+    rows = payload["scorecard"]["rows"]
+    assert rows
+    # two trials, four worlds each: every cell row sums to 8 worlds
+    for row in rows:
+        assert row["tp"] + row["fp"] + row["fn"] + row["tn"] == 8
+        assert row["fp"] == 0  # zero false positives across the sweep
+
+
+def test_cli_sweep_wids_on_experiment_without_eval(tmp_path, capsys):
+    out_file = tmp_path / "wids.json"
+    assert main(["sweep", "E-8021X", "--trials", "2",
+                 "--wids", str(out_file)]) == 0
+    err = capsys.readouterr().err
+    assert "no wids.eval." in err
+    payload = json.loads(out_file.read_text())
+    assert payload["scorecard"]["rows"] == []
 
 
 def test_cli_report_writes_markdown(tmp_path, monkeypatch, capsys):

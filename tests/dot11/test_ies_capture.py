@@ -132,5 +132,25 @@ def test_capture_capacity():
     cap = FrameCapture(capacity=10)
     for i in range(30):
         cap.add(_cap(make_beacon(AP1, "X", 1), t=float(i)))
-    assert len(cap) <= 11
+    assert len(cap) <= 10
     assert cap.frames[-1].time == 29.0
+
+
+@pytest.mark.parametrize("capacity", [1, 2, 3, 10, 100])
+def test_capture_capacity_invariant_holds_after_every_add(capacity):
+    """Regression: capacity=1 used to evict nothing (the batched drop
+    was ``capacity // 2 = 0`` frames), so a "keep only the newest
+    frame" capture grew without bound."""
+    cap = FrameCapture(capacity=capacity)
+    for i in range(5 * capacity + 7):
+        cap.add(_cap(make_beacon(AP1, "X", 1), t=float(i)))
+        assert len(cap) <= capacity
+    # the newest frame always survives eviction
+    assert cap.frames[-1].time == float(5 * capacity + 6)
+
+
+def test_capture_unbounded_by_default():
+    cap = FrameCapture()
+    for i in range(300):
+        cap.add(_cap(make_beacon(AP1, "X", 1), t=float(i)))
+    assert len(cap) == 300

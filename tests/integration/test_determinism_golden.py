@@ -10,12 +10,15 @@ simulated result: the zero-perturbation invariant).
 
 import pytest
 
+from repro.attacks.sniffer import MonitorSniffer
 from repro.core.campaign import run_trials
-from repro.core.registry import get_experiment
+from repro.core.registry import SeededExperiment, get_experiment
 from repro.core.scenario import build_corp_scenario
 from repro.fleet import run_campaign
 from repro.obs import collecting
 from repro.obs.lineage import recording
+from repro.radio.propagation import Position
+from repro.wids import Scorecard, WidsEngine, wids_watch
 
 
 def _run_fig2_world(seed):
@@ -146,6 +149,90 @@ def test_collect_metrics_does_not_change_trial_values():
     assert plain.per_seed == collected.per_seed
     assert plain.metrics == {}
     assert plain.merged_metrics is None
+
+
+def test_fig2_world_identical_with_ambient_wids_on_off_absent():
+    """The radio-layer WIDS hook obeys the zero-perturbation discipline.
+
+    The ambient watch taps :meth:`Medium._fan_out` before any
+    per-receiver RNG draw and never registers a radio port, so the
+    simulated world is bit-identical with the watch installed,
+    installed-with-heavy-eviction, or absent — while the watch itself
+    still observes the attack.
+    """
+    absent_cats, absent_counters = _run_fig2_world(seed=11)
+    with wids_watch() as watch:
+        on_cats, on_counters = _run_fig2_world(seed=11)
+    # tiny capture ring: eviction pressure must not leak into the sim
+    with wids_watch(capacity=8) as tiny:
+        tiny_cats, tiny_counters = _run_fig2_world(seed=11)
+    assert on_cats == absent_cats == tiny_cats
+    assert on_counters == absent_counters == tiny_counters
+    # the watch did observe the world it didn't perturb
+    assert watch.frames_seen() > 0
+    detectors = {a.detector for a in watch.alerts()}
+    assert {"fingerprint", "multichannel"} <= detectors
+    assert tiny.frames_seen() == watch.frames_seen()
+
+
+def _run_wids_sniffer_world(seed, mode):
+    """One FIG2 world carrying a monitor sniffer; ``mode`` controls the
+    engine: "absent", "attached", or "detached" (attached then removed
+    mid-run).  The sniffer is present in every mode so the worlds are
+    built identically — only the (purely observational) engine varies."""
+    scenario = build_corp_scenario(seed=seed)
+    sniffer = MonitorSniffer(scenario.sim, scenario.medium,
+                             Position(15.0, 5.0))
+    engine = WidsEngine()
+    detach = engine.attach(sniffer.capture) if mode != "absent" else None
+    scenario.arm_download_mitm()
+    victim = scenario.add_victim()
+    scenario.sim.run_for(5.0)
+    if mode == "detached":
+        detach()
+    outcome = scenario.run_download_experiment(victim)
+    categories = [rec.category for rec in scenario.sim.trace.records]
+    counters = {
+        "events_dispatched": scenario.sim.events_dispatched,
+        "compromised": outcome.compromised,
+        "final_time": scenario.sim.now,
+        "frames_captured": len(sniffer.capture),
+    }
+    return categories, counters, engine
+
+
+def test_fig2_world_identical_with_engine_attached_detached_absent():
+    absent_cats, absent_counters, _ = _run_wids_sniffer_world(11, "absent")
+    on_cats, on_counters, attached = _run_wids_sniffer_world(11, "attached")
+    mid_cats, mid_counters, detached = _run_wids_sniffer_world(11, "detached")
+    assert on_cats == absent_cats == mid_cats
+    assert on_counters == absent_counters == mid_counters
+    # the attached engine alerted on the rogue without changing anything
+    assert attached.alerts
+    # the detached engine saw only the pre-detach prefix of the stream
+    assert 0 < detached.frames_seen < attached.frames_seen
+
+
+def test_wids_eval_merged_scorecard_identical_serial_vs_parallel():
+    """The acceptance bar for ``sweep --wids``: per-seed ``wids.eval.*``
+    registries reduce in seed order to the same merged scorecard
+    whether the trials ran serially or across workers."""
+    trial = SeededExperiment("E-WIDS")
+    serial = run_campaign(2, trial, seed_base=40, collect_metrics=True)
+    parallel = run_campaign(2, trial, seed_base=40, workers=2,
+                            collect_metrics=True)
+    assert serial.per_seed == parallel.per_seed
+    assert serial.metrics == parallel.metrics
+    assert serial.merged_metrics.snapshot() == parallel.merged_metrics.snapshot()
+    card_s = Scorecard.from_registry(serial.merged_metrics)
+    card_p = Scorecard.from_registry(parallel.merged_metrics)
+    assert card_s.to_json_dict() == card_p.to_json_dict()
+    rows = card_s.rows()
+    assert rows
+    for row in rows:
+        # 2 trials x 4 worlds each, zero false positives throughout
+        assert row.tp + row.fp + row.fn + row.tn == 8
+        assert row.fp == 0
 
 
 def test_fleet_lineage_samples_identical_serial_vs_parallel():

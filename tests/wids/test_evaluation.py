@@ -1,0 +1,148 @@
+"""Evaluation harness: confusion cells, ROC, ttd, and the merge law."""
+
+import json
+
+from repro.dot11.capture import CapturedFrame, FrameCapture
+from repro.dot11.frames import make_beacon
+from repro.dot11.mac import MacAddress
+from repro.obs import collecting
+from repro.obs.metrics import MetricsRegistry
+from repro.wids.detectors import DETECTORS
+from repro.wids.evaluation import (GroundTruth, Scorecard, _thr_token,
+                                   _thr_value, evaluate)
+
+AP = MacAddress("aa:bb:cc:dd:00:01")
+
+
+def _cap(frame, t=0.0, ch=1):
+    return CapturedFrame(time=t, channel=ch, rssi_dbm=-50.0, frame=frame)
+
+
+def _rogue_capture():
+    """The legit AP plus an evil twin on channel 6 — fingerprint and
+    multichannel evidence on every twin beacon."""
+    capture = FrameCapture()
+    tbtt = 100 * 1024e-6
+    for i in range(30):
+        capture.add(_cap(make_beacon(AP, "CORP", 1, seq=i), t=i * tbtt, ch=1))
+        capture.add(_cap(make_beacon(AP, "CORP", 6, seq=3000 + i),
+                         t=i * tbtt + 0.01, ch=6))
+    return capture
+
+
+def _benign_capture():
+    capture = FrameCapture()
+    tbtt = 100 * 1024e-6
+    for i in range(30):
+        capture.add(_cap(make_beacon(AP, "CORP", 1, seq=i), t=i * tbtt, ch=1))
+    return capture
+
+
+def test_thr_token_roundtrip():
+    for thr in (1.0, 2.0, 13.0, 0.5, 2.5):
+        assert _thr_value(_thr_token(thr)) == thr
+    assert _thr_token(3.0) == "thr3"
+    assert _thr_token(0.5) == "thr0_5"
+
+
+def test_evaluate_rogue_world_scores_tp():
+    reg = evaluate(_rogue_capture(), GroundTruth(rogue_present=True))
+    # fingerprint + multichannel see the twin at every threshold
+    for det in ("fingerprint", "multichannel"):
+        for thr in DETECTORS[det].SWEEP:
+            assert reg.value(f"wids.eval.{det}.{_thr_token(thr)}.tp") == 1
+    # deauth-flood has nothing to find in a beacon-only world
+    thr = _thr_token(DETECTORS["deauth-flood"].default_threshold)
+    assert reg.value(f"wids.eval.deauth-flood.{thr}.fn") == 1
+    # ttd recorded at the default threshold only, >= 0
+    card = Scorecard.from_registry(reg)
+    assert card.mean_ttd_s("fingerprint") is not None
+    assert card.mean_ttd_s("fingerprint") >= 0.0
+    assert card.ttd("deauth-flood") is None
+
+
+def test_evaluate_benign_world_scores_tn():
+    reg = evaluate(_benign_capture(), GroundTruth(rogue_present=False))
+    for det, cls in DETECTORS.items():
+        for thr in cls.SWEEP:
+            assert reg.value(f"wids.eval.{det}.{_thr_token(thr)}.tn") == 1
+            assert reg.value(f"wids.eval.{det}.{_thr_token(thr)}.fp") == 0
+
+
+def test_evaluate_writes_ambient_registry_too():
+    with collecting() as col:
+        local = evaluate(_rogue_capture(), GroundTruth(rogue_present=True))
+    ambient = col.registry.subtree("wids.eval")
+    assert ambient  # the fleet-shipped copy
+    for name, metric in local.subtree("wids.eval").items():
+        assert ambient[name].to_dict() == metric.to_dict()
+    # and sweep replays don't pollute the live wids.* counters
+    assert col.registry.value("wids.frames") == 0
+
+
+def test_evaluate_attack_start_offsets_ttd():
+    late = evaluate(_rogue_capture(), GroundTruth(rogue_present=True,
+                                                  attack_start_s=0.0))
+    card = Scorecard.from_registry(late)
+    base = card.mean_ttd_s("multichannel")
+    offset = evaluate(_rogue_capture(),
+                      GroundTruth(rogue_present=True, attack_start_s=0.01))
+    card2 = Scorecard.from_registry(offset)
+    assert abs(card2.mean_ttd_s("multichannel") - (base - 0.01)) < 1e-9
+
+
+def test_scorecard_rows_rates_and_roc():
+    reg = MetricsRegistry()
+    evaluate(_rogue_capture(), GroundTruth(rogue_present=True), registry=reg)
+    evaluate(_benign_capture(), GroundTruth(rogue_present=False), registry=reg)
+    card = Scorecard.from_registry(reg)
+    assert set(card.detectors()) == set(DETECTORS)
+    fp_rows = [r for r in card.rows() if r.detector == "fingerprint"]
+    assert [r.threshold for r in fp_rows] == sorted(DETECTORS["fingerprint"].SWEEP)
+    for r in fp_rows:
+        assert (r.tp, r.fp, r.fn, r.tn) == (1, 0, 0, 1)
+        assert r.precision == 1.0 and r.recall == 1.0
+        assert r.tpr == 1.0 and r.fpr == 0.0
+    roc = card.roc("fingerprint")
+    assert [p[2] for p in roc] == sorted(DETECTORS["fingerprint"].SWEEP,
+                                         reverse=True)
+    assert all(p[0] == 0.0 and p[1] == 1.0 for p in roc)
+
+
+def test_scorecard_merge_law_serial_equals_split():
+    """Two per-world registries merged == one registry over both worlds."""
+    serial = MetricsRegistry()
+    evaluate(_rogue_capture(), GroundTruth(rogue_present=True),
+             registry=serial)
+    evaluate(_benign_capture(), GroundTruth(rogue_present=False),
+             registry=serial)
+
+    a = evaluate(_rogue_capture(), GroundTruth(rogue_present=True))
+    b = evaluate(_benign_capture(), GroundTruth(rogue_present=False))
+    merged = MetricsRegistry()
+    merged.merge(a)
+    merged.merge(b)
+
+    assert merged.snapshot() == serial.snapshot()
+    assert json.dumps(Scorecard.from_registry(merged).to_json_dict(),
+                      sort_keys=True) == \
+        json.dumps(Scorecard.from_registry(serial).to_json_dict(),
+                   sort_keys=True)
+
+
+def test_scorecard_snapshot_roundtrip_and_report():
+    reg = evaluate(_rogue_capture(), GroundTruth(rogue_present=True))
+    card = Scorecard.from_registry(reg)
+    clone = Scorecard.from_snapshot(reg.snapshot())
+    assert clone.to_json_dict() == card.to_json_dict()
+    text = card.report()
+    assert "WIDS evaluation scorecard" in text
+    assert "fingerprint" in text and "mean_ttd_s" in text
+
+
+def test_scorecard_empty_registry():
+    card = Scorecard.from_registry(MetricsRegistry())
+    assert card.rows() == [] and card.detectors() == []
+    assert card.mean_ttd_s("fingerprint") is None
+    assert card.to_json_dict() == {"rows": [], "roc": {},
+                                   "time_to_detect_s": {}}
