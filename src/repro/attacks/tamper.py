@@ -127,7 +127,7 @@ class InPathTamperer:
         new_segment = TcpSegment(
             src_port=segment.src_port, dst_port=segment.dst_port,
             seq=segment.seq, ack=segment.ack, flags=segment.flags,
-            window=segment.window, payload=payload)
+            window=segment.window, payload=payload, urgent=segment.urgent)
         return packet.with_payload(new_segment.to_bytes(packet.src, packet.dst))
 
 

@@ -28,7 +28,7 @@ from repro.core.scenario import (
 from repro.crypto.fms import FmsAttack, weak_iv_for
 from repro.crypto.rc4 import rc4_keystream
 from repro.crypto.wep import WepKey
-from repro.defense.detection import SeqCtlMonitor
+from repro.wids.detectors import SeqCtlMonitor
 from repro.hosts.nic import first_heard_policy, strongest_rssi_policy
 from repro.hosts.station import Station
 from repro.radio.propagation import Position

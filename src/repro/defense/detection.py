@@ -13,6 +13,15 @@ working; new code should import from :mod:`repro.wids.detectors` (or
 
 from __future__ import annotations
 
+import warnings
+
 from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict
 
 __all__ = ["SeqCtlMonitor", "SpoofVerdict"]
+
+warnings.warn(
+    "repro.defense.detection is deprecated; import SeqCtlMonitor and "
+    "SpoofVerdict from repro.wids.detectors instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

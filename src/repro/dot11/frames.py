@@ -35,6 +35,7 @@ from repro.dot11.mac import BROADCAST, MacAddress
 from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import active_profiler, obs_metrics
 from repro.sim.errors import ProtocolError
+from repro.wire import EncodeCache, HeaderSpec, fixed_bytes, u8, u16
 
 __all__ = [
     "CAP_ESS",
@@ -122,6 +123,17 @@ _FLAG_FROM_DS = 0x02
 _FLAG_RETRY = 0x08
 _FLAG_PROTECTED = 0x40
 
+_MAC_HEADER = HeaderSpec(
+    "802.11 MAC header", "<",
+    u8("fc0"),
+    u8("fc1"),
+    u16("duration"),
+    fixed_bytes("addr1", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    fixed_bytes("addr2", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    fixed_bytes("addr3", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    u16("seqctl"),
+)
+
 
 @dataclass
 class Dot11Frame:
@@ -150,6 +162,14 @@ class Dot11Frame:
     #: equality/repr: lineage annotation must never change frame
     #: semantics (the zero-perturbation contract).
     trace_id: Optional[int] = field(default=None, compare=False, repr=False)
+    #: Per-instance encode cache, keyed on ``with_fcs``.  ``init=False``
+    #: means :func:`dataclasses.replace` (and therefore
+    #: :meth:`with_body`) produces a copy with a *cold* cache — that is
+    #: the entire invalidation story, since wire fields are never
+    #: mutated after construction (only ``trace_id`` is, and it is not
+    #: serialized).
+    _wire_cache: Optional[EncodeCache] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -197,11 +217,16 @@ class Dot11Frame:
             return self._encode(with_fcs)
 
     def _encode(self, with_fcs: bool) -> bytes:
+        cache = self._wire_cache
+        if cache is None:
+            cache = self._wire_cache = EncodeCache()
+        raw = cache.get(with_fcs)
+        if raw is not None:
+            return raw
         m = obs_metrics()
         if m is not None:
             m.incr("dot11.frames_encoded")
-        ftype = self.frame_type
-        fc0 = (ftype.value << 2) | (self.subtype.subtype_bits << 4)
+        fc0 = (self.frame_type.value << 2) | (self.subtype.subtype_bits << 4)
         fc1 = 0
         if self.to_ds:
             fc1 |= _FLAG_TO_DS
@@ -211,28 +236,26 @@ class Dot11Frame:
             fc1 |= _FLAG_RETRY
         if self.protected:
             fc1 |= _FLAG_PROTECTED
-        seqctl = ((self.seq & 0x0FFF) << 4) | (self.frag & 0x0F)
-        header = struct.pack(
-            "<BBH6s6s6sH",
-            fc0,
-            fc1,
-            self.duration & 0xFFFF,
-            self.addr1.bytes,
-            self.addr2.bytes,
-            self.addr3.bytes,
-            seqctl,
-        )
-        raw = header + self.body
+        raw = _MAC_HEADER.pack(
+            fc0=fc0,
+            fc1=fc1,
+            duration=self.duration & 0xFFFF,
+            addr1=self.addr1,
+            addr2=self.addr2,
+            addr3=self.addr3,
+            seqctl=((self.seq & 0x0FFF) << 4) | (self.frag & 0x0F),
+        ) + self.body
         if with_fcs:
             raw += crc32(raw).to_bytes(4, "little")
         rec = flight_recorder()
         if rec is not None and self.trace_id is not None:
             rec.hop("dot11", "encode", trace_id=self.trace_id,
                     bytes=len(raw), subtype=self.subtype.name)
-        return raw
+        return cache.put(with_fcs, raw)
 
     @classmethod
-    def from_bytes(cls, raw: bytes, with_fcs: bool = True) -> "Dot11Frame":
+    def from_bytes(cls, raw: "bytes | bytearray | memoryview",
+                   with_fcs: bool = True) -> "Dot11Frame":
         prof = active_profiler()
         if prof is None:
             return cls._decode(raw, with_fcs)
@@ -240,23 +263,24 @@ class Dot11Frame:
             return cls._decode(raw, with_fcs)
 
     @classmethod
-    def _decode(cls, raw: bytes, with_fcs: bool) -> "Dot11Frame":
+    def _decode(cls, raw: "bytes | bytearray | memoryview", with_fcs: bool) -> "Dot11Frame":
         m = obs_metrics()
         if m is not None:
             m.incr("dot11.frames_decoded")
+        view = memoryview(raw)
         if with_fcs:
-            if len(raw) < HEADER_LEN + FCS_LEN:
+            if len(view) < HEADER_LEN + FCS_LEN:
                 raise ProtocolError("frame too short")
-            payload, fcs = raw[:-FCS_LEN], raw[-FCS_LEN:]
-            if crc32(payload).to_bytes(4, "little") != fcs:
+            payload, fcs = view[:-FCS_LEN], view[-FCS_LEN:]
+            if crc32(payload) != int.from_bytes(fcs, "little"):
                 raise ProtocolError("FCS check failed (corrupted frame)")
         else:
-            if len(raw) < HEADER_LEN:
+            if len(view) < HEADER_LEN:
                 raise ProtocolError("frame too short")
-            payload = raw
-        fc0, fc1, duration, a1, a2, a3, seqctl = struct.unpack(
-            "<BBH6s6s6sH", payload[:HEADER_LEN]
-        )
+            payload = view
+        fields = _MAC_HEADER.unpack(payload)
+        fc0 = fields["fc0"]
+        fc1 = fields["fc1"]
         ftype = (fc0 >> 2) & 0x3
         subtype_bits = (fc0 >> 4) & 0xF
         flat = subtype_bits if ftype == 0 else (ftype << 4) | subtype_bits
@@ -272,16 +296,17 @@ class Dot11Frame:
             trace_id = rec.current()
             if trace_id is not None:
                 rec.hop("dot11", "decode", trace_id=trace_id,
-                        bytes=len(raw), subtype=subtype.name)
+                        bytes=len(view), subtype=subtype.name)
+        seqctl = fields["seqctl"]
         return cls(
             subtype=subtype,
-            addr1=MacAddress(a1),
-            addr2=MacAddress(a2),
-            addr3=MacAddress(a3),
-            body=payload[HEADER_LEN:],
+            addr1=fields["addr1"],
+            addr2=fields["addr2"],
+            addr3=fields["addr3"],
+            body=bytes(payload[HEADER_LEN:]),
             seq=(seqctl >> 4) & 0x0FFF,
             frag=seqctl & 0x0F,
-            duration=duration,
+            duration=fields["duration"],
             protected=bool(fc1 & _FLAG_PROTECTED),
             to_ds=bool(fc1 & _FLAG_TO_DS),
             from_ds=bool(fc1 & _FLAG_FROM_DS),

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Union
 
 from repro.sim.errors import ProtocolError
+from repro.wire import pack_tlv, parse_tlv
 
 __all__ = ["IeId", "InformationElement", "pack_ies", "parse_ies", "find_ie",
            "ssid_ie", "ds_param_ie", "rates_ie", "challenge_ie"]
@@ -42,28 +44,18 @@ class InformationElement:
             raise ProtocolError("IE data longer than 255 bytes")
 
     def pack(self) -> bytes:
-        return bytes((self.element_id, len(self.data))) + self.data
+        return pack_tlv([(self.element_id, self.data)])
 
 
 def pack_ies(ies: list[InformationElement]) -> bytes:
     """Serialize a list of IEs back-to-back."""
-    return b"".join(ie.pack() for ie in ies)
+    return pack_tlv([(ie.element_id, ie.data) for ie in ies])
 
 
-def parse_ies(data: bytes) -> list[InformationElement]:
+def parse_ies(data: Union[bytes, bytearray, memoryview]) -> list[InformationElement]:
     """Parse back-to-back TLVs; raises :class:`ProtocolError` on truncation."""
-    out: list[InformationElement] = []
-    offset = 0
-    while offset < len(data):
-        if offset + 2 > len(data):
-            raise ProtocolError("truncated IE header")
-        eid, length = data[offset], data[offset + 1]
-        offset += 2
-        if offset + length > len(data):
-            raise ProtocolError("truncated IE body")
-        out.append(InformationElement(eid, data[offset:offset + length]))
-        offset += length
-    return out
+    return [InformationElement(eid, bytes(body))
+            for eid, body in parse_tlv(data, label="IE")]
 
 
 def find_ie(ies: list[InformationElement], element_id: int) -> InformationElement | None:

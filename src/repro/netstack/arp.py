@@ -10,15 +10,15 @@ so both are a matter of simply answering.
 from __future__ import annotations
 
 import enum
-import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.dot11.mac import MacAddress
 from repro.netstack.addressing import IPv4Address
 from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ProtocolError
+from repro.wire import HeaderSpec, fixed_bytes, u8, u16
 
 __all__ = ["ArpOp", "ArpPacket", "ArpTable", "record_arp_hop"]
 
@@ -42,6 +42,22 @@ class ArpOp(enum.IntEnum):
     REPLY = 2
 
 
+# htype/ptype/hlen/plen are constants of IPv4-over-Ethernet ARP: the
+# spec emits them on encode and rejects anything else on decode.
+_PACKET = HeaderSpec(
+    "ARP packet", ">",
+    u16("htype", const=1),
+    u16("ptype", const=0x0800),
+    u8("hlen", const=6),
+    u8("plen", const=4),
+    u16("op"),
+    fixed_bytes("sender_mac", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    fixed_bytes("sender_ip", 4, enc=lambda a: a.bytes, dec=IPv4Address),
+    fixed_bytes("target_mac", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    fixed_bytes("target_ip", 4, enc=lambda a: a.bytes, dec=IPv4Address),
+)
+
+
 @dataclass(frozen=True)
 class ArpPacket:
     """An ARP packet for IPv4-over-Ethernet (htype 1, ptype 0x0800)."""
@@ -53,32 +69,23 @@ class ArpPacket:
     target_ip: IPv4Address
 
     def to_bytes(self) -> bytes:
-        return (
-            struct.pack(">HHBBH", 1, 0x0800, 6, 4, int(self.op))
-            + self.sender_mac.bytes
-            + self.sender_ip.bytes
-            + self.target_mac.bytes
-            + self.target_ip.bytes
+        return _PACKET.pack(
+            op=int(self.op),
+            sender_mac=self.sender_mac,
+            sender_ip=self.sender_ip,
+            target_mac=self.target_mac,
+            target_ip=self.target_ip,
         )
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "ArpPacket":
-        if len(raw) < 28:
-            raise ProtocolError("ARP packet too short")
-        htype, ptype, hlen, plen, op = struct.unpack(">HHBBH", raw[:8])
-        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
-            raise ProtocolError("unsupported ARP header")
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview]) -> "ArpPacket":
+        fields = _PACKET.unpack(raw)
+        op = fields.pop("op")
         try:
             op_enum = ArpOp(op)
         except ValueError as exc:
             raise ProtocolError(f"unknown ARP op {op}") from exc
-        return cls(
-            op=op_enum,
-            sender_mac=MacAddress(raw[8:14]),
-            sender_ip=IPv4Address(raw[14:18]),
-            target_mac=MacAddress(raw[18:24]),
-            target_ip=IPv4Address(raw[24:28]),
-        )
+        return cls(op=op_enum, **fields)
 
     @classmethod
     def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address) -> "ArpPacket":

@@ -14,13 +14,13 @@ the first responder says — are what matter, and those are faithful.
 from __future__ import annotations
 
 import enum
-import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Union
 
 from repro.dot11.mac import MacAddress
 from repro.netstack.addressing import IPv4Address, Network
 from repro.sim.errors import ProtocolError
+from repro.wire import HeaderSpec, fixed_bytes, u8, u32
 
 __all__ = ["DhcpMessage", "DhcpMessageType", "LeasePool", "DHCP_SERVER_PORT", "DHCP_CLIENT_PORT"]
 
@@ -34,6 +34,21 @@ class DhcpMessageType(enum.IntEnum):
     REQUEST = 3
     ACK = 5
     NAK = 6
+
+
+_ip = lambda name: fixed_bytes(name, 4, enc=lambda a: a.bytes, dec=IPv4Address)  # noqa: E731
+
+_MESSAGE = HeaderSpec(
+    "DHCP message", ">",
+    u8("message_type"),
+    u32("xid"),
+    fixed_bytes("client_mac", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    _ip("your_ip"),
+    _ip("server_ip"),
+    _ip("gateway"),
+    _ip("dns_server"),
+    _ip("netmask"),
+)
 
 
 @dataclass(frozen=True)
@@ -50,35 +65,26 @@ class DhcpMessage:
     netmask: IPv4Address = IPv4Address(0)
 
     def to_bytes(self) -> bytes:
-        return (
-            struct.pack(">BI", int(self.message_type), self.xid)
-            + self.client_mac.bytes
-            + self.your_ip.bytes
-            + self.server_ip.bytes
-            + self.gateway.bytes
-            + self.dns_server.bytes
-            + self.netmask.bytes
+        return _MESSAGE.pack(
+            message_type=int(self.message_type),
+            xid=self.xid,
+            client_mac=self.client_mac,
+            your_ip=self.your_ip,
+            server_ip=self.server_ip,
+            gateway=self.gateway,
+            dns_server=self.dns_server,
+            netmask=self.netmask,
         )
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "DhcpMessage":
-        if len(raw) < 31:
-            raise ProtocolError("DHCP message too short")
-        mtype, xid = struct.unpack(">BI", raw[:5])
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview]) -> "DhcpMessage":
+        fields = _MESSAGE.unpack(raw)
+        mtype = fields.pop("message_type")
         try:
             message_type = DhcpMessageType(mtype)
         except ValueError as exc:
             raise ProtocolError(f"unknown DHCP message type {mtype}") from exc
-        return cls(
-            message_type=message_type,
-            xid=xid,
-            client_mac=MacAddress(raw[5:11]),
-            your_ip=IPv4Address(raw[11:15]),
-            server_ip=IPv4Address(raw[15:19]),
-            gateway=IPv4Address(raw[19:23]),
-            dns_server=IPv4Address(raw[23:27]),
-            netmask=IPv4Address(raw[27:31]),
-        )
+        return cls(message_type=message_type, **fields)
 
 
 class LeasePool:

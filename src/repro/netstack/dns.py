@@ -14,18 +14,25 @@ experiments.
 
 from __future__ import annotations
 
-import struct
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.netstack.addressing import IPv4Address
-from repro.sim.errors import ProtocolError
+from repro.wire import HeaderSpec, take, u8, u16
 
 __all__ = ["DnsMessage", "DnsZone", "DNS_PORT"]
 
 DNS_PORT = 53
 
 _FLAG_RESPONSE = 0x8000
+
+_HEADER = HeaderSpec(
+    "DNS message", ">",
+    u16("txn_id"),
+    u16("flags"),
+    u16("n_answers"),
+    u8("name_len"),
+)
 
 
 @dataclass(frozen=True)
@@ -39,33 +46,31 @@ class DnsMessage:
 
     def to_bytes(self) -> bytes:
         name_raw = self.name.encode("ascii")
-        flags = _FLAG_RESPONSE if self.is_response else 0
-        out = struct.pack(">HHHB", self.txn_id, flags, len(self.answers), len(name_raw))
+        out = bytearray(_HEADER.pack(
+            txn_id=self.txn_id,
+            flags=_FLAG_RESPONSE if self.is_response else 0,
+            n_answers=len(self.answers),
+            name_len=len(name_raw),
+        ))
         out += name_raw
         for answer in self.answers:
             out += answer.bytes
-        return out
+        return bytes(out)
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "DnsMessage":
-        if len(raw) < 7:
-            raise ProtocolError("DNS message too short")
-        txn_id, flags, n_answers, name_len = struct.unpack(">HHHB", raw[:7])
-        offset = 7
-        if offset + name_len > len(raw):
-            raise ProtocolError("DNS name truncated")
-        name = raw[offset:offset + name_len].decode("ascii", "replace")
-        offset += name_len
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview]) -> "DnsMessage":
+        view = memoryview(raw)
+        fields = _HEADER.unpack(view)
+        name_view, offset = take(view, _HEADER.size, fields["name_len"], "DNS name")
+        name = bytes(name_view).decode("ascii", "replace")
         answers = []
-        for _ in range(n_answers):
-            if offset + 4 > len(raw):
-                raise ProtocolError("DNS answer truncated")
-            answers.append(IPv4Address(raw[offset:offset + 4]))
-            offset += 4
+        for _ in range(fields["n_answers"]):
+            answer_view, offset = take(view, offset, 4, "DNS answer")
+            answers.append(IPv4Address(bytes(answer_view)))
         return cls(
-            txn_id=txn_id,
+            txn_id=fields["txn_id"],
             name=name,
-            is_response=bool(flags & _FLAG_RESPONSE),
+            is_response=bool(fields["flags"] & _FLAG_RESPONSE),
             answers=tuple(answers),
         )
 

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.dot11.mac import BROADCAST, MacAddress
 from repro.obs.lineage import flight_recorder
 from repro.sim.errors import ConfigurationError, ProtocolError
 from repro.sim.kernel import Simulator
+from repro.wire import HeaderSpec, fixed_bytes, u16
 
 __all__ = [
     "ETHERTYPE_ARP",
@@ -56,6 +57,14 @@ def llc_decap(body: bytes) -> tuple[int, bytes]:
     return ethertype, body[8:]
 
 
+_HEADER = HeaderSpec(
+    "ethernet frame", ">",
+    fixed_bytes("dst", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    fixed_bytes("src", 6, enc=lambda m: m.bytes, dec=MacAddress),
+    u16("ethertype"),
+)
+
+
 @dataclass(frozen=True)
 class EthernetFrame:
     """A DIX Ethernet II frame."""
@@ -72,19 +81,13 @@ class EthernetFrame:
     HEADER_LEN = 14
 
     def to_bytes(self) -> bytes:
-        return self.dst.bytes + self.src.bytes + struct.pack(">H", self.ethertype) + self.payload
+        return _HEADER.pack(dst=self.dst, src=self.src, ethertype=self.ethertype) + self.payload
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "EthernetFrame":
-        if len(raw) < cls.HEADER_LEN:
-            raise ProtocolError("ethernet frame too short")
-        (ethertype,) = struct.unpack(">H", raw[12:14])
-        return cls(
-            dst=MacAddress(raw[:6]),
-            src=MacAddress(raw[6:12]),
-            ethertype=ethertype,
-            payload=raw[14:],
-        )
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview]) -> "EthernetFrame":
+        view = memoryview(raw)
+        fields = _HEADER.unpack(view)
+        return cls(payload=bytes(view[cls.HEADER_LEN:]), **fields)
 
 
 class WiredPort:

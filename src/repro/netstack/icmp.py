@@ -9,11 +9,11 @@ VPN tunnel) the scenario built.
 from __future__ import annotations
 
 import enum
-import struct
 from dataclasses import dataclass
+from typing import Union
 
-from repro.netstack.ipv4 import internet_checksum
 from repro.sim.errors import ProtocolError
+from repro.wire import HeaderSpec, internet_checksum, patch_u16, u8, u16, u32
 
 __all__ = ["IcmpMessage", "IcmpType"]
 
@@ -23,6 +23,17 @@ class IcmpType(enum.IntEnum):
     DEST_UNREACHABLE = 3
     ECHO_REQUEST = 8
     TIME_EXCEEDED = 11
+
+
+_HEADER = HeaderSpec(
+    "ICMP message", ">",
+    u8("icmp_type"),
+    u8("code"),
+    u16("checksum"),
+    u32("rest"),
+)
+_CHECKSUM_OFFSET = 2
+_HEADER_LEN = 8
 
 
 @dataclass(frozen=True)
@@ -35,18 +46,21 @@ class IcmpMessage:
     payload: bytes = b""
 
     def to_bytes(self) -> bytes:
-        header = struct.pack(">BBHI", self.icmp_type, self.code, 0, self.rest)
-        checksum = internet_checksum(header + self.payload)
-        return struct.pack(">BBHI", self.icmp_type, self.code, checksum, self.rest) + self.payload
+        header = bytearray(_HEADER_LEN)
+        _HEADER.pack_into(header, 0, icmp_type=self.icmp_type, code=self.code,
+                          checksum=0, rest=self.rest)
+        patch_u16(header, _CHECKSUM_OFFSET,
+                  internet_checksum(header, self.payload))
+        return bytes(header) + self.payload
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "IcmpMessage":
-        if len(raw) < 8:
-            raise ProtocolError("ICMP message too short")
-        if internet_checksum(raw) != 0:
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview]) -> "IcmpMessage":
+        view = memoryview(raw)
+        fields = _HEADER.unpack(view)
+        if internet_checksum(view) != 0:
             raise ProtocolError("ICMP checksum failed")
-        icmp_type, code, _cksum, rest = struct.unpack(">BBHI", raw[:8])
-        return cls(icmp_type=icmp_type, code=code, rest=rest, payload=raw[8:])
+        return cls(icmp_type=fields["icmp_type"], code=fields["code"],
+                   rest=fields["rest"], payload=bytes(view[_HEADER_LEN:]))
 
     # ------------------------------------------------------------------
     # echo helpers

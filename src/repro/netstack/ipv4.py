@@ -1,12 +1,20 @@
-"""IPv4 packets: header serialization, checksum, protocol numbers."""
+"""IPv4 packets: declarative header spec, checksum, protocol numbers.
+
+The header layout lives in a :class:`repro.wire.HeaderSpec`; the
+checksum streams over the encode buffer and is patched in place
+(:func:`repro.wire.patch_u16`) instead of re-splicing the header.
+``internet_checksum`` is re-exported from :mod:`repro.wire.checksum`
+for the transport layers that share it.
+"""
 
 from __future__ import annotations
 
-import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from typing import Union
 
 from repro.netstack.addressing import IPv4Address
 from repro.sim.errors import ProtocolError
+from repro.wire import HeaderSpec, fixed_bytes, internet_checksum, patch_u16, u8, u16
 
 __all__ = [
     "IPv4Packet",
@@ -22,17 +30,23 @@ PROTO_UDP = 17
 
 HEADER_LEN = 20  # no options supported
 
+_VIHL = (4 << 4) | 5    # version 4, IHL 5
+_FLAGS_DF = 0x4000      # DF set, no fragments
 
-def internet_checksum(data: bytes) -> int:
-    """RFC 1071 ones-complement checksum (also used by ICMP/TCP/UDP)."""
-    if len(data) % 2:
-        data += b"\x00"
-    total = 0
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return ~total & 0xFFFF
+_HEADER = HeaderSpec(
+    "IPv4 packet", ">",
+    u8("vihl"),
+    u8("tos"),
+    u16("total_len"),
+    u16("ident"),
+    u16("flags"),
+    u8("ttl"),
+    u8("proto"),
+    u16("checksum"),
+    fixed_bytes("src", 4, enc=lambda a: a.bytes, dec=IPv4Address),
+    fixed_bytes("dst", 4, enc=lambda a: a.bytes, dec=IPv4Address),
+)
+_CHECKSUM_OFFSET = 10
 
 
 @dataclass(frozen=True)
@@ -53,48 +67,45 @@ class IPv4Packet:
     tos: int = 0
 
     def to_bytes(self) -> bytes:
-        total_len = HEADER_LEN + len(self.payload)
-        header = struct.pack(
-            ">BBHHHBBH4s4s",
-            (4 << 4) | 5,         # version 4, IHL 5
-            self.tos,
-            total_len,
-            self.ident & 0xFFFF,
-            0x4000,               # DF set, no fragments
-            self.ttl,
-            self.proto,
-            0,                    # checksum placeholder
-            self.src.bytes,
-            self.dst.bytes,
+        header = bytearray(HEADER_LEN)
+        _HEADER.pack_into(
+            header, 0,
+            vihl=_VIHL,
+            tos=self.tos,
+            total_len=HEADER_LEN + len(self.payload),
+            ident=self.ident & 0xFFFF,
+            flags=_FLAGS_DF,
+            ttl=self.ttl,
+            proto=self.proto,
+            checksum=0,
+            src=self.src,
+            dst=self.dst,
         )
-        checksum = internet_checksum(header)
-        header = header[:10] + struct.pack(">H", checksum) + header[12:]
-        return header + self.payload
+        patch_u16(header, _CHECKSUM_OFFSET, internet_checksum(header))
+        return bytes(header) + self.payload
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "IPv4Packet":
-        if len(raw) < HEADER_LEN:
-            raise ProtocolError("IPv4 packet too short")
-        vihl, tos, total_len, ident, _flags, ttl, proto, _cksum, src, dst = struct.unpack(
-            ">BBHHHBBH4s4s", raw[:HEADER_LEN]
-        )
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview]) -> "IPv4Packet":
+        view = memoryview(raw)
+        fields = _HEADER.unpack(view)
+        vihl = fields["vihl"]
         if vihl >> 4 != 4:
             raise ProtocolError("not an IPv4 packet")
-        ihl = (vihl & 0x0F) * 4
-        if ihl != HEADER_LEN:
+        if (vihl & 0x0F) * 4 != HEADER_LEN:
             raise ProtocolError("IPv4 options unsupported")
-        if internet_checksum(raw[:HEADER_LEN]) != 0:
+        if internet_checksum(view[:HEADER_LEN]) != 0:
             raise ProtocolError("IPv4 header checksum failed")
-        if total_len > len(raw):
+        total_len = fields["total_len"]
+        if total_len > len(view):
             raise ProtocolError("IPv4 total length exceeds buffer")
         return cls(
-            src=IPv4Address(src),
-            dst=IPv4Address(dst),
-            proto=proto,
-            payload=raw[HEADER_LEN:total_len],
-            ttl=ttl,
-            ident=ident,
-            tos=tos,
+            src=fields["src"],
+            dst=fields["dst"],
+            proto=fields["proto"],
+            payload=bytes(view[HEADER_LEN:total_len]),
+            ttl=fields["ttl"],
+            ident=fields["ident"],
+            tos=fields["tos"],
         )
 
     # ------------------------------------------------------------------

@@ -206,7 +206,7 @@ def _rewrite(packet: IPv4Packet, *, src: Optional[IPv4Address] = None,
             src_port=sport if sport is not None else seg.src_port,
             dst_port=dport if dport is not None else seg.dst_port,
             seq=seg.seq, ack=seg.ack, flags=seg.flags, window=seg.window,
-            payload=seg.payload,
+            payload=seg.payload, urgent=seg.urgent,
         )
         payload = seg.to_bytes(new_src, new_dst)
     elif packet.proto == PROTO_UDP:

@@ -39,14 +39,18 @@ class CapturedPacket:
     def tcp(self) -> Optional[TcpSegment]:
         if self.packet.proto != PROTO_TCP:
             return None
-        return TcpSegment.from_bytes(self.packet.payload, self.packet.src,
-                                     self.packet.dst, verify_checksum=False)
+        # memoryview: header fields are unpacked in place; only the
+        # payload slice is materialized (zero-copy decode contract).
+        return TcpSegment.from_bytes(memoryview(self.packet.payload),
+                                     self.packet.src, self.packet.dst,
+                                     verify_checksum=False)
 
     def udp(self) -> Optional[UdpDatagram]:
         if self.packet.proto != PROTO_UDP:
             return None
-        return UdpDatagram.from_bytes(self.packet.payload, self.packet.src,
-                                      self.packet.dst, verify_checksum=False)
+        return UdpDatagram.from_bytes(memoryview(self.packet.payload),
+                                      self.packet.src, self.packet.dst,
+                                      verify_checksum=False)
 
 
 class PacketCapture:

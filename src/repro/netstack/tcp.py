@@ -22,16 +22,25 @@ receive window, and a short TIME_WAIT.
 from __future__ import annotations
 
 import enum
-import struct
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.netstack.addressing import IPv4Address
-from repro.netstack.ipv4 import PROTO_TCP, internet_checksum
+from repro.netstack.ipv4 import PROTO_TCP
 from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.sim.errors import ProtocolError, SocketError
 from repro.sim.kernel import Event, Simulator
+from repro.wire import (
+    HeaderSpec,
+    internet_checksum,
+    patch_u16,
+    pseudo_header,
+    transport_checksum,
+    u8,
+    u16,
+    u32,
+)
 
 __all__ = ["TcpSegment", "TcpConnection", "TcpState", "FLAG_SYN", "FLAG_ACK",
            "FLAG_FIN", "FLAG_RST", "FLAG_PSH"]
@@ -58,6 +67,22 @@ def seq_le(a: int, b: int) -> bool:
     return a == b or seq_lt(a, b)
 
 
+_HEADER = HeaderSpec(
+    "TCP segment", ">",
+    u16("src_port"),
+    u16("dst_port"),
+    u32("seq"),
+    u32("ack"),
+    u8("offset_byte"),
+    u8("flags"),
+    u16("window"),
+    u16("checksum"),
+    u16("urgent"),
+)
+_CHECKSUM_OFFSET = 16
+_OFFSET_5_WORDS = 5 << 4
+
+
 @dataclass(frozen=True)
 class TcpSegment:
     """One TCP segment (no options; MSS is negotiated out of band)."""
@@ -69,50 +94,55 @@ class TcpSegment:
     flags: int
     window: int = 65535
     payload: bytes = b""
+    urgent: int = 0
 
     HEADER_LEN = 20
 
     def to_bytes(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bytes:
-        header = struct.pack(
-            ">HHIIBBHHH",
-            self.src_port,
-            self.dst_port,
-            self.seq,
-            self.ack,
-            (5 << 4),  # data offset 5 words
-            self.flags,
-            self.window,
-            0,
-            0,
+        buf = bytearray(self.HEADER_LEN + len(self.payload))
+        _HEADER.pack_into(
+            buf, 0,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.seq,
+            ack=self.ack,
+            offset_byte=_OFFSET_5_WORDS,
+            flags=self.flags,
+            window=self.window,
+            checksum=0,
+            urgent=self.urgent,
         )
-        total = header + self.payload
-        pseudo = src_ip.bytes + dst_ip.bytes + struct.pack(">BBH", 0, PROTO_TCP, len(total))
-        checksum = internet_checksum(pseudo + total)
-        return total[:16] + struct.pack(">H", checksum) + total[18:]
+        buf[self.HEADER_LEN:] = self.payload
+        patch_u16(buf, _CHECKSUM_OFFSET,
+                  transport_checksum(src_ip.bytes, dst_ip.bytes, PROTO_TCP, buf))
+        return bytes(buf)
 
     @classmethod
-    def from_bytes(cls, raw: bytes, src_ip: IPv4Address, dst_ip: IPv4Address,
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview],
+                   src_ip: IPv4Address, dst_ip: IPv4Address,
                    verify_checksum: bool = True) -> "TcpSegment":
-        if len(raw) < cls.HEADER_LEN:
+        view = memoryview(raw)
+        if len(view) < cls.HEADER_LEN:
             raise ProtocolError("TCP segment too short")
-        (src_port, dst_port, seq, ack, offset_byte, flags, window, _cksum, _urg) = struct.unpack(
-            ">HHIIBBHHH", raw[:20]
-        )
-        data_offset = (offset_byte >> 4) * 4
-        if data_offset < 20 or data_offset > len(raw):
+        fields = _HEADER.unpack(view)
+        data_offset = (fields["offset_byte"] >> 4) * 4
+        if data_offset < 20 or data_offset > len(view):
             raise ProtocolError("bad TCP data offset")
+        if data_offset > cls.HEADER_LEN:
+            raise ProtocolError("TCP options unsupported")
         if verify_checksum:
-            pseudo = src_ip.bytes + dst_ip.bytes + struct.pack(">BBH", 0, PROTO_TCP, len(raw))
-            if internet_checksum(pseudo + raw) != 0:
+            pseudo = pseudo_header(src_ip.bytes, dst_ip.bytes, PROTO_TCP, len(view))
+            if internet_checksum(pseudo, view) != 0:
                 raise ProtocolError("TCP checksum failed")
         return cls(
-            src_port=src_port,
-            dst_port=dst_port,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            window=window,
-            payload=raw[data_offset:],
+            src_port=fields["src_port"],
+            dst_port=fields["dst_port"],
+            seq=fields["seq"],
+            ack=fields["ack"],
+            flags=fields["flags"],
+            window=fields["window"],
+            payload=bytes(view[data_offset:]),
+            urgent=fields["urgent"],
         )
 
     def flag_names(self) -> str:

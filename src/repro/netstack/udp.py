@@ -8,14 +8,31 @@ tunnelled through the PPP-over-SSH VPN.
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass
+from typing import Union
 
 from repro.netstack.addressing import IPv4Address
-from repro.netstack.ipv4 import PROTO_UDP, internet_checksum
+from repro.netstack.ipv4 import PROTO_UDP
 from repro.sim.errors import ProtocolError
+from repro.wire import (
+    HeaderSpec,
+    internet_checksum,
+    patch_u16,
+    pseudo_header,
+    transport_checksum,
+    u16,
+)
 
 __all__ = ["UdpDatagram"]
+
+_HEADER = HeaderSpec(
+    "UDP datagram", ">",
+    u16("src_port"),
+    u16("dst_port"),
+    u16("length"),
+    u16("checksum"),
+)
+_CHECKSUM_OFFSET = 6
 
 
 @dataclass(frozen=True)
@@ -29,28 +46,37 @@ class UdpDatagram:
     HEADER_LEN = 8
 
     def to_bytes(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bytes:
-        length = self.HEADER_LEN + len(self.payload)
-        header = struct.pack(">HHHH", self.src_port, self.dst_port, length, 0)
-        pseudo = src_ip.bytes + dst_ip.bytes + struct.pack(">BBH", 0, PROTO_UDP, length)
-        checksum = internet_checksum(pseudo + header + self.payload)
+        header = bytearray(self.HEADER_LEN)
+        _HEADER.pack_into(
+            header, 0,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            length=self.HEADER_LEN + len(self.payload),
+            checksum=0,
+        )
+        checksum = transport_checksum(src_ip.bytes, dst_ip.bytes, PROTO_UDP,
+                                      header, self.payload)
         if checksum == 0:
             checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
-        return struct.pack(">HHHH", self.src_port, self.dst_port, length, checksum) + self.payload
+        patch_u16(header, _CHECKSUM_OFFSET, checksum)
+        return bytes(header) + self.payload
 
     @classmethod
-    def from_bytes(cls, raw: bytes, src_ip: IPv4Address, dst_ip: IPv4Address,
+    def from_bytes(cls, raw: Union[bytes, bytearray, memoryview],
+                   src_ip: IPv4Address, dst_ip: IPv4Address,
                    verify_checksum: bool = True) -> "UdpDatagram":
-        if len(raw) < cls.HEADER_LEN:
-            raise ProtocolError("UDP datagram too short")
-        src_port, dst_port, length, checksum = struct.unpack(">HHHH", raw[:8])
-        if length > len(raw):
+        view = memoryview(raw)
+        fields = _HEADER.unpack(view)
+        length = fields["length"]
+        if length > len(view):
             raise ProtocolError("UDP length exceeds buffer")
-        data = raw[:length]
-        if verify_checksum and checksum != 0:
-            pseudo = src_ip.bytes + dst_ip.bytes + struct.pack(">BBH", 0, PROTO_UDP, length)
-            if internet_checksum(pseudo + data) != 0:
+        data = view[:length]
+        if verify_checksum and fields["checksum"] != 0:
+            pseudo = pseudo_header(src_ip.bytes, dst_ip.bytes, PROTO_UDP, length)
+            if internet_checksum(pseudo, data) != 0:
                 raise ProtocolError("UDP checksum failed")
-        return cls(src_port=src_port, dst_port=dst_port, payload=data[8:])
+        return cls(src_port=fields["src_port"], dst_port=fields["dst_port"],
+                   payload=bytes(data[cls.HEADER_LEN:]))
 
     def __len__(self) -> int:
         return self.HEADER_LEN + len(self.payload)

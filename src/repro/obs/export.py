@@ -14,16 +14,16 @@ Two consumers, two formats:
   re-emissions draw as arrows from cause to copy.
 
 Both writers are pure functions of the recorder's contents and use
-only :mod:`struct`/:mod:`json`.
+only :mod:`repro.wire`/:mod:`json`.
 """
 
 from __future__ import annotations
 
 import json
-import struct
 from typing import IO, Any, Iterable, Union
 
 from repro.obs.lineage import FlightRecorder, Lineage
+from repro.wire import Field, HeaderSpec, u16, u32
 
 __all__ = ["LINKTYPE_IEEE802_11", "chrome_trace_dict", "pcap_bytes",
            "write_chrome_trace", "write_pcap"]
@@ -34,6 +34,25 @@ LINKTYPE_IEEE802_11 = 105
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_VERSION = (2, 4)
 PCAP_SNAPLEN = 65535
+
+# Classic libpcap file header and per-record header, little-endian.
+_PCAP_GLOBAL = HeaderSpec(
+    "pcap global header", "<",
+    u32("magic"),
+    u16("version_major"),
+    u16("version_minor"),
+    Field("thiszone", "i"),
+    u32("sigfigs"),
+    u32("snaplen"),
+    u32("linktype"),
+)
+_PCAP_RECORD = HeaderSpec(
+    "pcap record header", "<",
+    u32("ts_sec"),
+    u32("ts_usec"),
+    u32("incl_len"),
+    u32("orig_len"),
+)
 
 
 def _lineages(source: Union[FlightRecorder, Iterable[Lineage]]) -> list[Lineage]:
@@ -56,18 +75,25 @@ def pcap_bytes(source: Union[FlightRecorder, Iterable[Lineage]]) -> bytes:
         (ln for ln in _lineages(source) if ln.kind == "dot11" and ln.raw),
         key=lambda ln: (ln.t0, ln.trace_id),
     )
-    out = [struct.pack("<IHHiIII", PCAP_MAGIC, *PCAP_VERSION, 0, 0,
-                       PCAP_SNAPLEN, LINKTYPE_IEEE802_11)]
+    out = bytearray(_PCAP_GLOBAL.pack(
+        magic=PCAP_MAGIC,
+        version_major=PCAP_VERSION[0],
+        version_minor=PCAP_VERSION[1],
+        thiszone=0,
+        sigfigs=0,
+        snaplen=PCAP_SNAPLEN,
+        linktype=LINKTYPE_IEEE802_11,
+    ))
     for lineage in frames:
         raw = lineage.raw[:PCAP_SNAPLEN]
         ts_sec = int(lineage.t0)
         ts_usec = int(round((lineage.t0 - ts_sec) * 1e6))
         if ts_usec >= 1_000_000:          # guard rounding at .999999+
             ts_sec, ts_usec = ts_sec + 1, 0
-        out.append(struct.pack("<IIII", ts_sec, ts_usec, len(raw),
-                               len(lineage.raw)))
-        out.append(raw)
-    return b"".join(out)
+        out += _PCAP_RECORD.pack(ts_sec=ts_sec, ts_usec=ts_usec,
+                                 incl_len=len(raw), orig_len=len(lineage.raw))
+        out += raw
+    return bytes(out)
 
 
 def write_pcap(dest: Union[str, IO[bytes]],

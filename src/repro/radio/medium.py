@@ -139,6 +139,12 @@ class Medium:
     def detach(self, port: RadioPort) -> None:
         if port in self.ports:
             self.ports.remove(port)
+            # Clear the back-reference so a detached port cannot keep
+            # transmitting into this medium through a stale handle.
+            port._medium = None
+            m = obs_metrics()
+            if m is not None:
+                m.set_gauge("radio.ports", len(self.ports))
 
     # ------------------------------------------------------------------
     # transmission

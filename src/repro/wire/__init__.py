@@ -1,0 +1,55 @@
+"""``repro.wire`` — the unified declarative wire-format layer.
+
+Every protocol the simulation puts on a wire or on the air — ethernet,
+ARP, IPv4, TCP, UDP, ICMP, DNS, DHCP, 802.11 frames and IEs — encodes
+and decodes through this toolkit instead of hand-rolled
+``struct.pack`` choreography:
+
+* :class:`HeaderSpec` / :class:`Field` — a fixed-layout header is a
+  list of named field specs compiled into one :class:`struct.Struct`;
+  constants are validated on decode, converters (MAC/IP objects,
+  enums) are applied declaratively.
+* :mod:`repro.wire.tlv` — the TLV combinator behind 802.11
+  information elements, plus truncation-safe slicing helpers for
+  length-prefixed constructs.
+* :mod:`repro.wire.checksum` — RFC 1071 internet checksum that
+  *streams* over any number of buffers (``memoryview`` included, odd
+  boundaries handled), pseudo-header helpers, and in-place checksum
+  patching for ``bytearray`` encode buffers.
+* :class:`EncodeCache` — encode-once caching for immutable frames
+  delivered to many consumers (receivers + sniffer + flight recorder +
+  WIDS), with hit/miss counters under ``codec.encode_cache.*``.
+
+The byte-compatibility contract: a migrated codec must emit bytes
+bit-identical to the pre-``repro.wire`` implementation — pinned by the
+golden vectors in ``tests/wire/golden_vectors.json``.  See DESIGN.md
+§11 for the full contract and how to add a new protocol.
+"""
+
+from repro.wire.cache import EncodeCache
+from repro.wire.checksum import (
+    internet_checksum,
+    patch_u16,
+    pseudo_header,
+    transport_checksum,
+)
+from repro.wire.spec import Field, HeaderSpec, u8, u16, u32, u64, fixed_bytes
+from repro.wire.tlv import pack_tlv, parse_tlv, take
+
+__all__ = [
+    "EncodeCache",
+    "Field",
+    "HeaderSpec",
+    "fixed_bytes",
+    "internet_checksum",
+    "pack_tlv",
+    "parse_tlv",
+    "patch_u16",
+    "pseudo_header",
+    "take",
+    "transport_checksum",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+]

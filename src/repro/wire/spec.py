@@ -1,0 +1,156 @@
+"""Declarative fixed-layout header specs compiled onto :mod:`struct`.
+
+A protocol header is declared once as an ordered list of
+:class:`Field` specs and compiled into a single :class:`struct.Struct`
+— one C-level pack/unpack call per header, with the declarative layer
+handling what the hand-rolled codecs each reimplemented ad hoc:
+
+* value converters (``MacAddress``/``IPv4Address``/enums) applied
+  symmetrically on encode and decode;
+* constant fields (ARP's htype/ptype/hlen/plen) emitted on encode and
+  *validated* on decode;
+* truncation turned into a uniform :class:`ProtocolError` carrying the
+  protocol's own label ("TCP segment too short", not a bare
+  ``struct.error``).
+
+Decode is zero-copy: :meth:`HeaderSpec.unpack` works directly on a
+``memoryview`` (``struct.unpack_from`` never copies the buffer), so a
+caller can parse a header out of a captured frame and slice the
+payload as a view without materializing intermediate buffers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Optional, Union
+
+from repro.sim.errors import ProtocolError
+
+__all__ = ["Field", "HeaderSpec", "u8", "u16", "u32", "u64", "fixed_bytes"]
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class Field:
+    """One named field of a fixed-layout header.
+
+    ``fmt`` is a single :mod:`struct` format unit (``B``, ``H``, ``I``,
+    ``Q``, ``6s``, ...).  ``enc``/``dec`` convert between the domain
+    value (a ``MacAddress``, an enum) and the raw struct value; ``const``
+    pins the raw value — encoded implicitly, enforced on decode.
+    """
+
+    __slots__ = ("name", "fmt", "const", "enc", "dec", "default")
+
+    def __init__(
+        self,
+        name: str,
+        fmt: str,
+        *,
+        const: Optional[Any] = None,
+        default: Optional[Any] = None,
+        enc: Optional[Callable[[Any], Any]] = None,
+        dec: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.name = name
+        self.fmt = fmt
+        self.const = const
+        self.default = default
+        self.enc = enc
+        self.dec = dec
+
+
+def u8(name: str, **kw: Any) -> Field:
+    return Field(name, "B", **kw)
+
+
+def u16(name: str, **kw: Any) -> Field:
+    return Field(name, "H", **kw)
+
+
+def u32(name: str, **kw: Any) -> Field:
+    return Field(name, "I", **kw)
+
+
+def u64(name: str, **kw: Any) -> Field:
+    return Field(name, "Q", **kw)
+
+
+def fixed_bytes(name: str, size: int, **kw: Any) -> Field:
+    return Field(name, f"{size}s", **kw)
+
+
+class HeaderSpec:
+    """A compiled fixed-layout header: one struct, named declarative fields.
+
+    ``label`` names the protocol in error messages ("TCP segment" →
+    "TCP segment too short").  ``byteorder`` is a struct prefix
+    (``">"`` network order for the IP suite, ``"<"`` for 802.11).
+    """
+
+    __slots__ = ("label", "fields", "size", "_struct", "_encoders", "_decoders")
+
+    def __init__(self, label: str, byteorder: str, *fields: Field) -> None:
+        self.label = label
+        self.fields = fields
+        self._struct = struct.Struct(byteorder + "".join(f.fmt for f in fields))
+        self.size = self._struct.size
+        # Pre-resolved per-field encode plans: (name, const, enc, default).
+        self._encoders = tuple(
+            (f.name, f.const, f.enc, f.default) for f in fields
+        )
+        self._decoders = tuple(
+            (f.name, f.const, f.dec) for f in fields
+        )
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    def _raw_values(self, values: dict[str, Any]) -> list[Any]:
+        raw = []
+        for name, const, enc, default in self._encoders:
+            if const is not None:
+                raw.append(const)
+                continue
+            v = values.get(name, default)
+            if v is None:
+                raise ProtocolError(f"{self.label}: missing field {name!r}")
+            raw.append(enc(v) if enc is not None else v)
+        return raw
+
+    def pack(self, **values: Any) -> bytes:
+        """Encode the header to fresh bytes."""
+        return self._struct.pack(*self._raw_values(values))
+
+    def pack_into(self, buf: bytearray, offset: int = 0, **values: Any) -> None:
+        """Encode the header in place into an existing buffer."""
+        self._struct.pack_into(buf, offset, *self._raw_values(values))
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def unpack(self, buf: Buffer, offset: int = 0) -> dict[str, Any]:
+        """Decode the header from ``buf`` at ``offset`` — zero-copy.
+
+        Returns a ``{field name: converted value}`` dict; const fields
+        are validated and omitted from the result.  Raises
+        :class:`ProtocolError` on truncation or const mismatch.
+        """
+        try:
+            raw = self._struct.unpack_from(buf, offset)
+        except struct.error as exc:
+            raise ProtocolError(f"{self.label} too short") from exc
+        out: dict[str, Any] = {}
+        for (name, const, dec), value in zip(self._decoders, raw):
+            if const is not None:
+                if value != const:
+                    raise ProtocolError(
+                        f"{self.label}: field {name!r} must be {const!r}, got {value!r}"
+                    )
+                continue
+            out[name] = dec(value) if dec is not None else value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ",".join(f.name for f in self.fields)
+        return f"<HeaderSpec {self.label} [{names}] {self.size}B>"

@@ -1,0 +1,65 @@
+"""Length-prefixed and TLV combinators for variable-layout wire formats.
+
+Covers the two variable-length shapes the repo's protocols use:
+
+* back-to-back **TLV** runs — 802.11 information elements (1-byte id,
+  1-byte length, up to 255 bytes of value);
+* **length-prefixed** slices — the DNS name, DNS answer lists.
+
+Parsing is zero-copy: values come back as ``memoryview`` slices of the
+input buffer; the caller materializes (``bytes(...)``) only the pieces
+it keeps.  Truncation raises :class:`ProtocolError` with the caller's
+own label so protocol error messages stay byte-for-byte what they were
+before the migration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.sim.errors import ProtocolError
+
+__all__ = ["pack_tlv", "parse_tlv", "take"]
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def pack_tlv(items: "list[tuple[int, bytes]]") -> bytes:
+    """Serialize ``(id, value)`` pairs as back-to-back 1-byte TLVs."""
+    out = bytearray()
+    for tag, value in items:
+        out.append(tag)
+        out.append(len(value))
+        out += value
+    return bytes(out)
+
+
+def parse_tlv(data: Buffer, label: str = "TLV") -> Iterator[tuple[int, memoryview]]:
+    """Iterate ``(id, value-view)`` pairs from a back-to-back TLV run.
+
+    Raises :class:`ProtocolError` (``"truncated {label} header/body"``)
+    when the run is cut mid-element.
+    """
+    view = memoryview(data)
+    offset = 0
+    end = len(view)
+    while offset < end:
+        if offset + 2 > end:
+            raise ProtocolError(f"truncated {label} header")
+        tag, length = view[offset], view[offset + 1]
+        offset += 2
+        if offset + length > end:
+            raise ProtocolError(f"truncated {label} body")
+        yield tag, view[offset:offset + length]
+        offset += length
+
+
+def take(view: memoryview, offset: int, n: int, what: str) -> tuple[memoryview, int]:
+    """Slice ``n`` bytes at ``offset`` or raise ``"{what} truncated"``.
+
+    Returns ``(slice, new_offset)`` — the building block for
+    length-prefixed decodes that must fail loudly on short buffers.
+    """
+    if offset + n > len(view):
+        raise ProtocolError(f"{what} truncated")
+    return view[offset:offset + n], offset + n

@@ -110,3 +110,34 @@ def test_tx_counters():
     assert tx.tx_frames == 5
     assert tx.tx_bytes == 5 * beacon.air_bytes()
     assert rx.rx_frames == 5
+
+
+def test_detach_clears_back_reference_and_gauge():
+    """A detached port must not keep a stale handle into the medium."""
+    from repro.obs.runtime import collecting
+    from repro.sim.errors import ConfigurationError
+
+    sim = Simulator(seed=3)
+    with collecting() as col:
+        medium = Medium(sim)
+        port = _port(medium, "roamer", 1.0)
+        other = _port(medium, "stays", 2.0)
+        medium.detach(port)
+        assert port._medium is None
+        assert port not in medium.ports
+        with pytest.raises(ConfigurationError, match="not attached"):
+            port.transmit(make_beacon(AP, "GHOST", 1))
+        # gauge tracks the live attachment count
+        assert col.registry.snapshot()["radio.ports"]["value"] == 1
+        # detaching an unknown port is a no-op
+        medium.detach(port)
+        assert other in medium.ports
+
+
+def test_detached_port_can_reattach_to_another_medium():
+    sim = Simulator(seed=3)
+    m1, m2 = Medium(sim), Medium(sim)
+    port = _port(m1, "mover", 1.0)
+    m1.detach(port)
+    m2.attach(port)
+    assert port._medium is m2

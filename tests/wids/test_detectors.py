@@ -344,3 +344,15 @@ def test_defense_detection_shim_reexports_the_migrated_classes():
     # the package-level import follows the same objects
     from repro.defense import SeqCtlMonitor as pkg_monitor
     assert pkg_monitor is home.SeqCtlMonitor
+
+
+def test_defense_detection_shim_warns_on_import():
+    import importlib
+    import warnings
+
+    import repro.defense.detection as shim
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.reload(shim)
+    assert any(issubclass(w.category, DeprecationWarning)
+               and "repro.wids.detectors" in str(w.message) for w in caught)

@@ -1,0 +1,28 @@
+"""Regenerate tests/wire/golden_vectors.json from the current codecs.
+
+The checked-in file was produced by the pre-``repro.wire`` hand-rolled
+serializers; regenerating it against changed codecs would defeat the
+byte-compatibility guarantee, so only run this to *add* vectors (and
+diff the result — existing hex strings must not change).
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from tests.wire.vectors import build_vectors  # noqa: E402
+
+
+def main() -> None:
+    dest = os.path.join(os.path.dirname(__file__), "golden_vectors.json")
+    goldens = {v.key: v.encode().hex() for v in build_vectors()}
+    with open(dest, "w") as fh:
+        json.dump(goldens, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(goldens)} vectors to {dest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,261 @@
+"""Hypothesis round-trip properties for every wire-backed protocol.
+
+Two families of invariants:
+
+* ``decode(encode(x)) == x`` for arbitrary well-formed protocol
+  objects (the generator explores the field space far beyond the
+  hand-picked golden vectors);
+* the streaming :func:`repro.wire.internet_checksum` is bit-identical
+  to the seed word-loop implementation for arbitrary data and
+  arbitrary chunk boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dot11.frames import Dot11Frame, FrameSubtype, make_beacon
+from repro.dot11.ies import InformationElement, pack_ies, parse_ies
+from repro.dot11.mac import MacAddress
+from repro.netstack.addressing import IPv4Address
+from repro.netstack.arp import ArpOp, ArpPacket
+from repro.netstack.dhcp import DhcpMessage, DhcpMessageType
+from repro.netstack.dns import DnsMessage
+from repro.netstack.ethernet import EthernetFrame
+from repro.netstack.icmp import IcmpMessage
+from repro.netstack.ipv4 import IPv4Packet
+from repro.netstack.tcp import TcpSegment
+from repro.netstack.udp import UdpDatagram
+from repro.sim.errors import ProtocolError
+from repro.wire import internet_checksum
+
+macs = st.binary(min_size=6, max_size=6).map(MacAddress)
+ips = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+u8s = st.integers(min_value=0, max_value=0xFF)
+u16s = st.integers(min_value=0, max_value=0xFFFF)
+u32s = st.integers(min_value=0, max_value=0xFFFFFFFF)
+payloads = st.binary(max_size=64)
+
+
+# ----------------------------------------------------------------------
+# checksum vs the seed word-loop reference
+# ----------------------------------------------------------------------
+def _seed_checksum(data: bytes) -> int:
+    """The pre-``repro.wire`` implementation, verbatim (from ipv4.py)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@given(st.binary(max_size=200))
+def test_checksum_matches_seed_word_loop(data):
+    assert internet_checksum(data) == _seed_checksum(data)
+
+
+@given(st.binary(min_size=1, max_size=120),
+       st.lists(st.integers(min_value=0, max_value=120), max_size=6))
+def test_checksum_is_chunking_invariant(data, cuts):
+    bounds = sorted({min(c, len(data)) for c in cuts} | {0, len(data)})
+    chunks = [data[a:b] for a, b in zip(bounds, bounds[1:])]
+    assert internet_checksum(*chunks) == _seed_checksum(data)
+
+
+@given(st.binary(max_size=60).filter(lambda d: len(d) % 2 == 1))
+def test_checksum_odd_length_matches_seed(data):
+    assert internet_checksum(data) == _seed_checksum(data)
+
+
+# ----------------------------------------------------------------------
+# netstack round-trips
+# ----------------------------------------------------------------------
+@given(dst=macs, src=macs, ethertype=u16s, payload=payloads)
+def test_ethernet_round_trip(dst, src, ethertype, payload):
+    frame = EthernetFrame(dst=dst, src=src, ethertype=ethertype, payload=payload)
+    assert EthernetFrame.from_bytes(frame.to_bytes()) == frame
+
+
+@given(op=st.sampled_from(list(ArpOp)), smac=macs, sip=ips, tmac=macs, tip=ips)
+def test_arp_round_trip(op, smac, sip, tmac, tip):
+    pkt = ArpPacket(op=op, sender_mac=smac, sender_ip=sip,
+                    target_mac=tmac, target_ip=tip)
+    raw = pkt.to_bytes()
+    assert ArpPacket.from_bytes(raw) == pkt
+    assert ArpPacket.from_bytes(raw).to_bytes() == raw
+
+
+@given(src=ips, dst=ips, proto=u8s, payload=payloads,
+       ttl=st.integers(min_value=1, max_value=255), ident=u16s, tos=u8s)
+def test_ipv4_round_trip(src, dst, proto, payload, ttl, ident, tos):
+    pkt = IPv4Packet(src=src, dst=dst, proto=proto, payload=payload,
+                     ttl=ttl, ident=ident, tos=tos)
+    raw = pkt.to_bytes()
+    assert IPv4Packet.from_bytes(raw) == pkt
+    assert IPv4Packet.from_bytes(raw).to_bytes() == raw
+
+
+@given(src=ips, dst=ips, sport=u16s, dport=u16s, seq=u32s, ack=u32s,
+       flags=u8s, window=u16s, payload=payloads, urgent=u16s)
+def test_tcp_round_trip_preserves_urgent_pointer(src, dst, sport, dport, seq,
+                                                 ack, flags, window, payload,
+                                                 urgent):
+    seg = TcpSegment(src_port=sport, dst_port=dport, seq=seq, ack=ack,
+                     flags=flags, window=window, payload=payload, urgent=urgent)
+    raw = seg.to_bytes(src, dst)
+    decoded = TcpSegment.from_bytes(raw, src, dst)
+    assert decoded == seg
+    assert decoded.to_bytes(src, dst) == raw
+
+
+@given(src=ips, dst=ips)
+def test_tcp_rejects_options(src, dst):
+    seg = TcpSegment(src_port=1, dst_port=2, seq=3, ack=4, flags=0x10,
+                     payload=b"\x00" * 8)
+    raw = bytearray(seg.to_bytes(src, dst))
+    raw[12] = 7 << 4  # data offset 28: 8 bytes of options
+    with pytest.raises(ProtocolError, match="TCP options unsupported"):
+        TcpSegment.from_bytes(bytes(raw), src, dst, verify_checksum=False)
+
+
+@given(src=ips, dst=ips, sport=u16s, dport=u16s, payload=payloads)
+def test_udp_round_trip(src, dst, sport, dport, payload):
+    dgram = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    raw = dgram.to_bytes(src, dst)
+    decoded = UdpDatagram.from_bytes(raw, src, dst)
+    assert decoded == dgram
+    assert decoded.to_bytes(src, dst) == raw
+
+
+@given(icmp_type=u8s, code=u8s, rest=u32s, payload=payloads)
+def test_icmp_round_trip(icmp_type, code, rest, payload):
+    msg = IcmpMessage(icmp_type=icmp_type, code=code, rest=rest, payload=payload)
+    raw = msg.to_bytes()
+    assert IcmpMessage.from_bytes(raw) == msg
+    assert IcmpMessage.from_bytes(raw).to_bytes() == raw
+
+
+@given(txn_id=u16s,
+       name=st.text(alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E),
+                    max_size=63),
+       is_response=st.booleans(),
+       answers=st.lists(ips, max_size=5).map(tuple))
+def test_dns_round_trip(txn_id, name, is_response, answers):
+    msg = DnsMessage(txn_id=txn_id, name=name, is_response=is_response,
+                     answers=answers)
+    raw = msg.to_bytes()
+    assert DnsMessage.from_bytes(raw) == msg
+    assert DnsMessage.from_bytes(raw).to_bytes() == raw
+
+
+@given(mtype=st.sampled_from(list(DhcpMessageType)), xid=u32s, mac=macs,
+       your_ip=ips, server_ip=ips, gateway=ips, dns_server=ips, netmask=ips)
+def test_dhcp_round_trip(mtype, xid, mac, your_ip, server_ip, gateway,
+                         dns_server, netmask):
+    msg = DhcpMessage(message_type=mtype, xid=xid, client_mac=mac,
+                      your_ip=your_ip, server_ip=server_ip, gateway=gateway,
+                      dns_server=dns_server, netmask=netmask)
+    raw = msg.to_bytes()
+    assert DhcpMessage.from_bytes(raw) == msg
+    assert DhcpMessage.from_bytes(raw).to_bytes() == raw
+
+
+# ----------------------------------------------------------------------
+# 802.11 information elements
+# ----------------------------------------------------------------------
+ie_lists = st.lists(
+    st.builds(InformationElement, element_id=u8s,
+              data=st.binary(max_size=255)),
+    max_size=6)
+
+
+@given(ies=ie_lists)
+def test_ies_round_trip(ies):
+    raw = pack_ies(ies)
+    assert parse_ies(raw) == ies
+    assert pack_ies(parse_ies(raw)) == raw
+
+
+@given(data=st.binary(min_size=255, max_size=255))
+def test_ie_at_the_255_byte_boundary(data):
+    (ie,) = parse_ies(pack_ies([InformationElement(221, data)]))
+    assert ie.data == data
+
+
+def test_ie_over_255_bytes_is_rejected_at_construction():
+    with pytest.raises(ProtocolError, match="longer than 255"):
+        InformationElement(221, bytes(256))
+
+
+@given(ies=ie_lists.filter(lambda l: sum(2 + len(ie.data) for ie in l) > 1),
+       cut=st.integers(min_value=1, max_value=50))
+def test_truncated_ie_run_raises(ies, cut):
+    raw = pack_ies(ies)
+    truncated = raw[:len(raw) - min(cut, len(raw) - 1)]
+    try:
+        parse_ies(truncated)
+    except ProtocolError as exc:
+        assert "truncated IE" in str(exc)
+    # A cut landing exactly on an element boundary parses a shorter
+    # list — that is correct TLV behaviour, not an error.
+
+
+# ----------------------------------------------------------------------
+# 802.11 frames
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(a1=macs, a2=macs, a3=macs, body=payloads,
+       seq=st.integers(min_value=0, max_value=0x0FFF),
+       frag=st.integers(min_value=0, max_value=0x0F),
+       duration=u16s,
+       subtype=st.sampled_from(list(FrameSubtype)),
+       protected=st.booleans(), to_ds=st.booleans(),
+       from_ds=st.booleans(), retry=st.booleans(),
+       with_fcs=st.booleans())
+def test_dot11_frame_round_trip(a1, a2, a3, body, seq, frag, duration,
+                                subtype, protected, to_ds, from_ds, retry,
+                                with_fcs):
+    frame = Dot11Frame(subtype=subtype, addr1=a1, addr2=a2, addr3=a3,
+                       body=body, seq=seq, frag=frag, duration=duration,
+                       protected=protected, to_ds=to_ds, from_ds=from_ds,
+                       retry=retry)
+    raw = frame.to_bytes(with_fcs=with_fcs)
+    decoded = Dot11Frame.from_bytes(raw, with_fcs=with_fcs)
+    assert decoded == frame
+    assert decoded.to_bytes(with_fcs=with_fcs) == raw
+
+
+@given(cut=st.integers(min_value=1, max_value=23))
+def test_truncated_dot11_frame_raises(cut):
+    with pytest.raises(ProtocolError, match="frame too short"):
+        Dot11Frame.from_bytes(b"\x00" * cut, with_fcs=False)
+
+
+def test_truncated_transport_buffers_raise():
+    a, b = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+    with pytest.raises(ProtocolError, match="TCP segment too short"):
+        TcpSegment.from_bytes(b"\x00" * 19, a, b)
+    with pytest.raises(ProtocolError, match="UDP datagram too short"):
+        UdpDatagram.from_bytes(b"\x00" * 7, a, b)
+    with pytest.raises(ProtocolError, match="ICMP message too short"):
+        IcmpMessage.from_bytes(b"\x00" * 7)
+    with pytest.raises(ProtocolError, match="IPv4 packet too short"):
+        IPv4Packet.from_bytes(b"\x45" + b"\x00" * 10)
+    with pytest.raises(ProtocolError, match="ARP packet too short"):
+        ArpPacket.from_bytes(b"\x00\x01\x08\x00\x06\x04")
+    with pytest.raises(ProtocolError, match="DHCP message too short"):
+        DhcpMessage.from_bytes(b"\x01" + b"\x00" * 20)
+    with pytest.raises(ProtocolError, match="DNS name truncated"):
+        DnsMessage.from_bytes(
+            DnsMessage.query(1, "example.com").to_bytes()[:-3])
+
+
+def test_beacon_body_still_parses_through_the_ie_layer():
+    beacon = make_beacon(MacAddress("02:0a:00:00:00:03"), "CORP", 6, seq=1)
+    info = Dot11Frame.from_bytes(beacon.to_bytes()).parse_beacon()
+    assert (info.ssid, info.channel) == ("CORP", 6)

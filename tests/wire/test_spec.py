@@ -1,0 +1,202 @@
+"""Unit tests for the declarative wire toolkit itself."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.obs.runtime import collecting
+from repro.sim.errors import ProtocolError
+from repro.wire import (
+    EncodeCache,
+    Field,
+    HeaderSpec,
+    fixed_bytes,
+    internet_checksum,
+    pack_tlv,
+    parse_tlv,
+    patch_u16,
+    pseudo_header,
+    take,
+    transport_checksum,
+    u8,
+    u16,
+    u32,
+    u64,
+)
+
+SPEC = HeaderSpec(
+    "demo header", ">",
+    u8("kind", const=7),
+    u16("length"),
+    u32("token"),
+    fixed_bytes("tag", 2, enc=lambda s: s.encode(), dec=lambda b: b.decode()),
+)
+
+
+# ----------------------------------------------------------------------
+# HeaderSpec
+# ----------------------------------------------------------------------
+class TestHeaderSpec:
+    def test_size_is_the_compiled_struct_size(self):
+        assert SPEC.size == 1 + 2 + 4 + 2
+
+    def test_pack_emits_consts_and_applies_encoders(self):
+        raw = SPEC.pack(length=10, token=0xCAFEBABE, tag="ok")
+        assert raw == struct.pack(">BHI2s", 7, 10, 0xCAFEBABE, b"ok")
+
+    def test_unpack_round_trips_and_omits_consts(self):
+        raw = SPEC.pack(length=3, token=9, tag="ab")
+        assert SPEC.unpack(raw) == {"length": 3, "token": 9, "tag": "ab"}
+
+    def test_unpack_is_zero_copy_from_a_memoryview_at_offset(self):
+        raw = b"\xff\xff" + SPEC.pack(length=1, token=2, tag="xy")
+        fields = SPEC.unpack(memoryview(raw), offset=2)
+        assert fields["tag"] == "xy"
+
+    def test_unpack_validates_const_fields(self):
+        raw = bytearray(SPEC.pack(length=1, token=2, tag="xy"))
+        raw[0] = 8
+        with pytest.raises(ProtocolError, match="field 'kind' must be 7, got 8"):
+            SPEC.unpack(bytes(raw))
+
+    def test_truncated_buffer_raises_with_the_protocol_label(self):
+        with pytest.raises(ProtocolError, match="demo header too short"):
+            SPEC.unpack(b"\x07\x00")
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ProtocolError, match="missing field 'token'"):
+            SPEC.pack(length=1, tag="xy")
+
+    def test_default_fills_an_omitted_field(self):
+        spec = HeaderSpec("d", ">", u16("a", default=42))
+        assert spec.pack() == struct.pack(">H", 42)
+
+    def test_pack_into_writes_at_offset(self):
+        buf = bytearray(SPEC.size + 4)
+        SPEC.pack_into(buf, 4, length=1, token=2, tag="zz")
+        assert bytes(buf[4:]) == SPEC.pack(length=1, token=2, tag="zz")
+
+    def test_u64_field(self):
+        spec = HeaderSpec("wide", "<", u64("stamp"))
+        assert spec.unpack(spec.pack(stamp=2**63))["stamp"] == 2**63
+
+    def test_field_slots_reject_stray_attributes(self):
+        with pytest.raises(AttributeError):
+            Field("x", "B").extra = 1
+
+
+# ----------------------------------------------------------------------
+# TLV / length-prefixed combinators
+# ----------------------------------------------------------------------
+class TestTlv:
+    def test_round_trip(self):
+        items = [(0, b"CORP"), (1, b"\x82\x84"), (3, b"\x0b")]
+        assert [(t, bytes(v)) for t, v in parse_tlv(pack_tlv(items))] == items
+
+    def test_values_come_back_as_views_of_the_input(self):
+        raw = pack_tlv([(9, b"abc")])
+        ((_, view),) = list(parse_tlv(raw))
+        assert isinstance(view, memoryview)
+        assert view.obj is raw
+
+    def test_truncated_header_uses_caller_label(self):
+        with pytest.raises(ProtocolError, match="truncated IE header"):
+            list(parse_tlv(b"\x01", label="IE"))
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError, match="truncated TLV body"):
+            list(parse_tlv(b"\x01\x05abc"))
+
+    def test_take_slices_and_advances(self):
+        view = memoryview(b"abcdef")
+        piece, offset = take(view, 1, 3, "thing")
+        assert (bytes(piece), offset) == (b"bcd", 4)
+
+    def test_take_truncation(self):
+        with pytest.raises(ProtocolError, match="DNS name truncated"):
+            take(memoryview(b"ab"), 0, 3, "DNS name")
+
+
+# ----------------------------------------------------------------------
+# checksum helpers
+# ----------------------------------------------------------------------
+class TestChecksum:
+    def test_rfc1071_worked_example(self):
+        # RFC 1071 §3: 0x0001 f203 f4f5 f6f7 -> sum 0xddf2, checksum 0x220d.
+        assert internet_checksum(b"\x00\x01\xf2\x03\xf4\xf5\xf6\xf7") == 0x220D
+
+    def test_all_zero_input_yields_ffff(self):
+        assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+    def test_nonzero_multiple_of_ffff_yields_zero(self):
+        assert internet_checksum(b"\xff\xff") == 0
+        assert internet_checksum(b"\xff\xfe\x00\x01") == 0
+
+    def test_empty_input(self):
+        assert internet_checksum(b"") == 0xFFFF
+        assert internet_checksum() == 0xFFFF
+
+    def test_odd_length_pads_with_zero(self):
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+    def test_chunking_never_changes_the_result(self):
+        data = bytes(range(1, 40))
+        whole = internet_checksum(data)
+        assert internet_checksum(data[:1], data[1:2], data[2:17], data[17:]) == whole
+        assert internet_checksum(*[data[i:i + 1] for i in range(len(data))]) == whole
+        assert internet_checksum(memoryview(data)[:7], data[7:], b"") == whole
+
+    def test_verification_of_a_patched_buffer_is_zero_or_ffff(self):
+        buf = bytearray(b"\x12\x34\x00\x00\x56\x78\x9a")
+        patch_u16(buf, 2, internet_checksum(buf))
+        assert internet_checksum(buf) in (0, 0xFFFF)
+
+    def test_pseudo_header_layout(self):
+        raw = pseudo_header(b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02", 6, 20)
+        assert raw == b"\x0a\x00\x00\x01\x0a\x00\x00\x02\x00\x06\x00\x14"
+
+    def test_transport_checksum_equals_manual_concatenation(self):
+        src, dst = b"\x0a\x00\x00\x01", b"\xc0\xa8\x01\xc8"
+        header, payload = b"\x00\x35\x14\x51\x00\x0c\x00\x00", b"data"
+        pseudo = pseudo_header(src, dst, 17, len(header) + len(payload))
+        assert transport_checksum(src, dst, 17, header, payload) == \
+            internet_checksum(pseudo + header + payload)
+
+    def test_patch_u16_is_big_endian_in_place(self):
+        buf = bytearray(4)
+        patch_u16(buf, 1, 0xBEEF)
+        assert bytes(buf) == b"\x00\xbe\xef\x00"
+
+
+# ----------------------------------------------------------------------
+# encode cache
+# ----------------------------------------------------------------------
+class TestEncodeCache:
+    def test_get_put_clear(self):
+        cache = EncodeCache()
+        assert cache.get(True) is None
+        assert cache.put(True, b"raw") == b"raw"
+        assert cache.get(True) == b"raw"
+        assert len(cache) == 1
+        cache.clear()
+        assert cache.get(True) is None
+
+    def test_variant_keys_are_independent(self):
+        cache = EncodeCache()
+        cache.put(True, b"with-fcs")
+        cache.put(False, b"without")
+        assert (cache.get(True), cache.get(False)) == (b"with-fcs", b"without")
+
+    def test_metrics_counters(self):
+        with collecting() as col:
+            cache = EncodeCache()
+            cache.get("k")            # lookup miss
+            cache.put("k", b"x")      # miss (fill)
+            cache.get("k")            # hit
+            cache.get("k")            # hit
+        snap = col.registry.snapshot()
+        assert snap["codec.encode_cache.hits"]["value"] == 2
+        assert snap["codec.encode_cache.lookup_misses"]["value"] == 1
+        assert snap["codec.encode_cache.misses"]["value"] == 1
