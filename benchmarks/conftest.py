@@ -3,15 +3,61 @@
 Each benchmark runs one experiment from :mod:`repro.core.experiments`
 exactly once under pytest-benchmark (these are simulations, not
 microbenchmarks — wall time is reported for reproducibility tracking,
-the printed tables are the result), prints the reproduced table, and
-asserts the paper's qualitative shape.
+the printed tables are the result), emits the reproduced table as a
+*structured record* through :mod:`repro.bench.records` (still printed
+under ``-s``), and asserts the paper's qualitative shape.
+
+Determinism pins (the deflake contract):
+
+* ``PYTHONHASHSEED`` is pinned to ``0`` for every child process the
+  suite forks (fleet workers) unless the caller already pinned one —
+  recorded in the bench environment capture either way;
+* ``random`` is re-seeded before every benchmark, so any incidental
+  stdlib-RNG use cannot leak state between tests;
+* all simulation seeds are explicit in the test bodies.
+
+Two invocations of any registered benchmark must produce identical
+non-timing payloads — pinned by ``tests/bench/test_determinism.py``.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/ --benchmark-only --bench-records records.json
 """
 
+import os
+import random
+
 import pytest
+
+# Pin hashing for every subprocess this suite spawns (fleet workers,
+# sweep trials).  Setting it here cannot re-randomize the current
+# interpreter, but it makes child processes reproducible and the bench
+# environment capture records the effective value.
+os.environ.setdefault("PYTHONHASHSEED", "0")
+
+
+@pytest.fixture(autouse=True)
+def _pinned_rng():
+    """Re-seed stdlib RNG per test: no cross-test state, no flake."""
+    random.seed(0)
+    yield
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-records", action="store", default=None, metavar="PATH",
+        help="write every structured benchmark record (tables, telemetry "
+             "fields) as JSON to PATH at session end")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-records")
+    if path:
+        from repro.bench.records import write_records
+
+        count = write_records(path)
+        print(f"\nwrote {count} benchmark record(s) to {path}")
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -20,13 +66,15 @@ def run_once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
-def print_rows(title, rows, order=None):
-    """Render experiment rows as the reproduction table."""
-    from repro.core.report import format_table
-    if not rows:
-        print(f"{title}\n  (no rows)")
-        return
-    headers = order or list(rows[0].keys())
-    table = format_table(headers, [[r.get(h) for h in headers] for r in rows],
-                         title=title)
-    print("\n" + table + "\n")
+def record_rows(title, rows, order=None, *, area):
+    """Emit experiment rows as a structured table record (and print it)."""
+    from repro.bench.records import emit_table
+
+    emit_table(area, title, rows, order=order)
+
+
+def record_fields(area, name, **fields):
+    """Emit one telemetry line as a structured record (and print it)."""
+    from repro.bench.records import emit_record
+
+    emit_record(area, name, **fields)

@@ -9,7 +9,7 @@ frames/weak-IV rate of a sequential-IV card — reproducing the folklore
 "millions of packets" figure.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_airsnort_curve
 
@@ -17,7 +17,7 @@ from repro.core.experiments import exp_airsnort_curve
 def test_airsnort_key_recovery(benchmark):
     result = run_once(benchmark, exp_airsnort_curve, trials=5)
     rows = result["rows"]
-    print_rows("E-FMS: WEP key recovery vs weak-IV budget", rows)
+    record_rows("E-FMS: WEP key recovery vs weak-IV budget", rows, area="fms")
 
     for bits in (40, 104):
         curve = [r for r in rows if r["key_bits"] == bits]

@@ -6,7 +6,7 @@ time-to-capture falls.  Targeted unicast at a given rate is at least
 as effective as broadcast.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_deauth_capture
 
@@ -14,7 +14,7 @@ from repro.core.experiments import exp_deauth_capture
 def test_deauth_capture(benchmark):
     result = run_once(benchmark, exp_deauth_capture, trials=3, horizon_s=60.0)
     rows = result["rows"]
-    print_rows("E-DEAUTH: victim capture vs deauth injection rate", rows)
+    record_rows("E-DEAUTH: victim capture vs deauth injection rate", rows, area="deauth")
 
     baseline = next(r for r in rows if r["deauth_rate_hz"] == 0.0)
     assert baseline["capture_rate"] == 0.0

@@ -6,7 +6,7 @@ rejects the keyless rogue but accepts any rogue holding the shared
 PSK — i.e. any valid client, the paper's residual MITM.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_dot1x_wpa_gap
 
@@ -14,7 +14,7 @@ from repro.core.experiments import exp_dot1x_wpa_gap
 def test_dot1x_wpa_gap(benchmark):
     result = run_once(benchmark, exp_dot1x_wpa_gap, seed=1)
     rows = result["rows"]
-    print_rows("E-8021X: what the client ends up trusting", rows)
+    record_rows("E-8021X: what the client ends up trusting", rows, area="dot1x")
 
     by_net = {r["network"]: r for r in rows}
     assert by_net["802.1X legitimate AP"]["client_accepts_network"]

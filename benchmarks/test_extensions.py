@@ -5,7 +5,7 @@ and countering" capabilities the paper's §6 promises as future work —
 the victim-side first-hop probe and the WIDS containment sensor.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_containment, exp_first_hop_detection
 
@@ -13,7 +13,7 @@ from repro.core.experiments import exp_containment, exp_first_hop_detection
 def test_first_hop_detection(benchmark):
     result = run_once(benchmark, exp_first_hop_detection, trials=4)
     rows = result["rows"]
-    print_rows("X-PATH: TTL=1 first-hop probe", rows)
+    record_rows("X-PATH: TTL=1 first-hop probe", rows, area="extensions")
 
     rogue = next(r for r in rows if r["network"] == "rogue in path")
     clean = next(r for r in rows if r["network"] == "clean")
@@ -24,7 +24,7 @@ def test_first_hop_detection(benchmark):
 def test_containment(benchmark):
     result = run_once(benchmark, exp_containment, trials=3)
     rows = result["rows"]
-    print_rows("X-CONTAIN: eviction vs containment injection rate", rows)
+    record_rows("X-CONTAIN: eviction vs containment injection rate", rows, area="extensions")
 
     baseline = next(r for r in rows if r["containment_rate_hz"] == 0.0)
     assert baseline["eviction_rate"] == 0.0    # captured victims stay captured

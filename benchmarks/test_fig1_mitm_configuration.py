@@ -8,7 +8,7 @@ ablation shows *why*: a first-heard policy can dodge this particular
 geometry, stock drivers do not.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import fig1_mitm_configuration
 
@@ -16,7 +16,7 @@ from repro.core.experiments import fig1_mitm_configuration
 def test_fig1_mitm_configuration(benchmark):
     result = run_once(benchmark, fig1_mitm_configuration, seed=1)
     rows = result["rows"]
-    print_rows("FIG1: rogue-AP capture (ablation: AP-selection policy)", rows)
+    record_rows("FIG1: rogue-AP capture (ablation: AP-selection policy)", rows, area="fig1")
 
     stock = next(r for r in rows if r["policy"] == "strongest-rssi")
     assert stock["rogue_upstream_associated"]

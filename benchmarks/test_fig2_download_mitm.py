@@ -7,7 +7,7 @@ clean; traffic not matching the DNAT rule passes through untouched
 ("No Rule Match" path of the figure).
 """
 
-from conftest import print_rows, run_once
+from conftest import record_fields, record_rows, run_once
 
 from repro.core.experiments import fig2_download_mitm
 
@@ -15,9 +15,9 @@ from repro.core.experiments import fig2_download_mitm
 def test_fig2_download_mitm(benchmark):
     result = run_once(benchmark, fig2_download_mitm, seed=1)
     rows = result["rows"]
-    print_rows("FIG2: the §4.1 download MITM", rows)
-    print(f"  'No Rule Match' pass-through intact: "
-          f"{result['no_rule_match_passthrough']}\n")
+    record_rows("FIG2: the §4.1 download MITM", rows, area="fig2")
+    record_fields("fig2", "no_rule_match",
+                  passthrough_intact=result["no_rule_match_passthrough"])
 
     control = next(r for r in rows if "control" in r["arm"])
     attacked = next(r for r in rows if "netsed" in r["arm"])

@@ -5,7 +5,7 @@ compromises the bare client but never even *sees* a port-80 flow from
 the VPN client; the VPN client's download is clean.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import fig3_vpn_proxy
 
@@ -13,7 +13,7 @@ from repro.core.experiments import fig3_vpn_proxy
 def test_fig3_vpn_proxy(benchmark):
     result = run_once(benchmark, fig3_vpn_proxy, seed=1)
     rows = result["rows"]
-    print_rows("FIG3: VPN proxy through the rogue", rows)
+    record_rows("FIG3: VPN proxy through the rogue", rows, area="fig3")
 
     bare = next(r for r in rows if r["arm"] == "bare client")
     vpn = next(r for r in rows if r["arm"] == "VPN client")

@@ -16,7 +16,7 @@ beat the hardware, so only the determinism half is enforced.
 
 import os
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.crypto.rc4 import rc4_keystream
 from repro.fleet import run_campaign
@@ -51,7 +51,7 @@ def test_fleet_scaling_throughput(benchmark):
     speedup = (parallel.throughput / serial.throughput
                if serial.throughput else float("nan"))
     cores = _usable_cores()
-    print_rows(
+    record_rows(
         f"Fleet scaling: {TRIALS} CPU-bound trials ({cores} usable core(s))",
         [
             {"workers": 1, "elapsed_s": round(serial.elapsed_s, 3),
@@ -59,7 +59,7 @@ def test_fleet_scaling_throughput(benchmark):
             {"workers": WORKERS, "elapsed_s": round(parallel.elapsed_s, 3),
              "trials_per_s": round(parallel.throughput, 1),
              "speedup": round(speedup, 2)},
-        ])
+        ], area="fleet")
     if cores >= WORKERS:
         assert speedup >= 2.0, (
             f"expected >=2x throughput at {WORKERS} workers on {cores} "

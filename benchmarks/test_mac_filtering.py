@@ -4,7 +4,7 @@ Expected shape: the honest outsider is denied; sniffing yields a valid
 MAC and the spoofing outsider is admitted.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_mac_filtering
 
@@ -12,7 +12,7 @@ from repro.core.experiments import exp_mac_filtering
 def test_mac_filtering(benchmark):
     result = run_once(benchmark, exp_mac_filtering, seed=1)
     rows = result["rows"]
-    print_rows("E-MAC: MAC filtering vs sniff-and-spoof", rows)
+    record_rows("E-MAC: MAC filtering vs sniff-and-spoof", rows, area="mac")
 
     honest = next(r for r in rows if "honest" in r["attacker"])
     spoof = next(r for r in rows if "spoof" in r["attacker"])

@@ -11,6 +11,8 @@ the single-shot experiment benches):
 
 import pytest
 
+from conftest import record_fields
+
 from repro.crypto.crc import crc32
 from repro.crypto.fms import FmsAttack, weak_iv_for
 from repro.crypto.md5 import md5
@@ -91,6 +93,7 @@ def test_event_kernel_dispatch_rate(benchmark):
         return len(sink)
 
     assert benchmark(run_batch) == 10_000
+    record_fields("micro", "event_kernel_dispatch", events=10_000)
 
 
 def test_radio_medium_delivery_rate(benchmark):
@@ -115,3 +118,5 @@ def test_radio_medium_delivery_rate(benchmark):
         return len(received)
 
     assert benchmark(run_round) == 5000
+    record_fields("micro", "radio_medium_delivery", receivers=10,
+                  transmissions=500, deliveries=5000)

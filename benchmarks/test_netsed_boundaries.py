@@ -6,7 +6,7 @@ than the pattern, climbs toward 1 as segments grow (≈ 1 - (L-1)/MSS
 for pattern length L), and the streaming rewriter is 1.0 everywhere.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_netsed_boundaries
 
@@ -15,8 +15,8 @@ def test_netsed_boundaries(benchmark):
     result = run_once(benchmark, exp_netsed_boundaries, trials=300)
     rows = result["rows"]
     L = result["pattern_len"]
-    print_rows(f"E-NETSED: rewrite hit rate vs segment size (pattern {L} bytes)",
-               rows)
+    record_rows(f"E-NETSED: rewrite hit rate vs segment size (pattern {L} bytes)",
+               rows, area="netsed")
 
     per_seg = sorted((r for r in rows if "netsed" in r["rewriter"]),
                      key=lambda r: r["segment_size"])

@@ -7,7 +7,7 @@ follows 1-(1-p·s)^K — rising in both p and K — while the always-on
 VPN client's stays at zero.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_fields, record_rows, run_once
 
 from repro.core.experiments import exp_network_promiscuity
 
@@ -17,8 +17,8 @@ def test_network_promiscuity(benchmark):
                       stage1_seeds=(1, 2, 3), chain_trials=2000)
     rows = result["rows"]
     s = result["per_visit_compromise_prob"]
-    print(f"\n  stage 1 (full sim): per-hostile-visit compromise = {s}")
-    print_rows("E-PROM: P(compromised before returning home)", rows)
+    record_fields("prom", "stage1_full_sim", per_hostile_visit_compromise=s)
+    record_rows("E-PROM: P(compromised before returning home)", rows, area="prom")
 
     assert s >= 0.9  # the hostile hotspot essentially always lands
 

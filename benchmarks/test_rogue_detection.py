@@ -5,7 +5,7 @@ two channels, interleaved counters) at every reasonable gap threshold,
 with no false positives on the clean network.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_rogue_detection
 
@@ -13,7 +13,7 @@ from repro.core.experiments import exp_rogue_detection
 def test_rogue_detection(benchmark):
     result = run_once(benchmark, exp_rogue_detection, trials=4)
     rows = result["rows"]
-    print_rows("E-DETECT: seq-ctl monitor TPR/FPR vs gap threshold", rows)
+    record_rows("E-DETECT: seq-ctl monitor TPR/FPR vs gap threshold", rows, area="detect")
 
     for row in rows:
         assert row["true_positive_rate"] == 1.0, row

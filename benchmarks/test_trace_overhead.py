@@ -19,7 +19,7 @@ Run with::
 
 import time
 
-from conftest import print_rows
+from conftest import record_rows
 
 from repro.core.scenario import build_corp_scenario
 from repro.obs.lineage import recording
@@ -53,11 +53,11 @@ def test_recorder_wall_clock_overhead(benchmark):
     recorded_s = benchmark.pedantic(lambda: _time_runs(recorded),
                                     rounds=1, iterations=1, warmup_rounds=0)
     ratio = recorded_s / base_s if base_s > 0 else 1.0
-    print_rows("Flight-recorder overhead (FIG2 world, best of 3)", [
+    record_rows("Flight-recorder overhead (FIG2 world, best of 3)", [
         {"mode": "recorder off", "best_s": round(base_s, 4), "ratio": 1.0},
         {"mode": "recorder on", "best_s": round(recorded_s, 4),
          "ratio": round(ratio, 2)},
-    ])
+    ], area="trace")
     # Generous: recording adds per-frame dict/hop work but must never be
     # the dominant cost of the simulation.
     assert ratio < 5.0, f"flight recorder {ratio:.1f}x slower than baseline"
@@ -72,12 +72,12 @@ def test_recorder_memory_stays_bounded(benchmark):
     rec = benchmark.pedantic(run, args=(256, 8),
                              rounds=1, iterations=1, warmup_rounds=0)
     s = rec.summary()
-    print_rows("Flight-recorder ring bounds (capacity=256, max_hops=8)", [
+    record_rows("Flight-recorder ring bounds (capacity=256, max_hops=8)", [
         {"lineages": s["lineages"], "hops": s["hops"],
          "evicted": s["evicted"],
          "max_hops_seen": max((len(ln.hops) for ln in rec.lineages()),
                               default=0)},
-    ])
+    ], area="trace")
     assert len(rec) <= 256
     assert s["evicted"] > 0  # FIG2 overflows a 256-lineage ring
     assert all(len(ln.hops) <= 8 for ln in rec.lineages())

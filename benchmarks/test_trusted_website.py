@@ -7,7 +7,7 @@ client is compromised, a patched one is not (but was still served
 tampered content).
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_trusted_website
 
@@ -15,7 +15,7 @@ from repro.core.experiments import exp_trusted_website
 def test_trusted_website(benchmark):
     result = run_once(benchmark, exp_trusted_website, seed=1)
     rows = result["rows"]
-    print_rows("E-CNN: browsing a trusted site through a hotspot", rows)
+    record_rows("E-CNN: browsing a trusted site through a hotspot", rows, area="cnn")
 
     honest = next(r for r in rows if "honest" in r["arm"])
     hostile_unpatched = next(r for r in rows if "hostile" in r["arm"]

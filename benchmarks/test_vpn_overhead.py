@@ -12,7 +12,7 @@ Expected shape, as radio loss grows:
   future-work VPN evaluation would have drawn.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_vpn_overhead
 
@@ -21,7 +21,7 @@ def test_vpn_overhead(benchmark):
     result = run_once(benchmark, exp_vpn_overhead,
                       loss_rates=(0.0, 0.05, 0.10, 0.20))
     rows = result["rows"]
-    print_rows("E-VPNOH: CBR UDP through three transports vs radio loss", rows)
+    record_rows("E-VPNOH: CBR UDP through three transports vs radio loss", rows, area="vpnoh")
 
     def pick(loss, transport):
         return next(r for r in rows

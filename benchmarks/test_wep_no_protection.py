@@ -5,7 +5,7 @@ on when the rogue is a valid client, and with WEP on after a passive
 FMS key recovery.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_wep_no_protection
 
@@ -13,7 +13,7 @@ from repro.core.experiments import exp_wep_no_protection
 def test_wep_no_protection(benchmark):
     result = run_once(benchmark, exp_wep_no_protection, seed=1)
     rows = result["rows"]
-    print_rows("E-WEP: WEP vs the rogue-AP MITM", rows)
+    record_rows("E-WEP: WEP vs the rogue-AP MITM", rows, area="wep")
 
     assert len(rows) == 3
     for row in rows:

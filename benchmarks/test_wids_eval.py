@@ -11,7 +11,7 @@ Expected shape:
 * benign world: zero alerts at every threshold (zero false positives).
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.wids.experiment import exp_wids_eval
 
@@ -19,8 +19,8 @@ from repro.wids.experiment import exp_wids_eval
 def test_wids_eval(benchmark):
     result = run_once(benchmark, exp_wids_eval, seed=1)
     rows = result["scorecard"]["rows"]
-    print_rows("E-WIDS: detector bank confusion cells over threshold sweep",
-               rows)
+    record_rows("E-WIDS: detector bank confusion cells over threshold sweep",
+               rows, area="wids")
 
     # Detection beats compromise on the Fig. 1/Fig. 2 world.
     assert result["alert_before_rewrite"], result["worlds"]["naive"]

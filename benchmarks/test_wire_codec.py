@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import time
 
+from conftest import record_fields
+
 from repro.dot11.frames import Dot11Frame, make_beacon, make_data
 from repro.dot11.mac import MacAddress
 from repro.netstack.addressing import IPv4Address
@@ -63,8 +65,10 @@ def test_encode_cache_hit_is_faster_than_cold_encode(benchmark):
     cached()
     t_cached = time.perf_counter() - t0
     speedup = t_cold / t_cached
-    print(f"\nencode x{rounds}: cold {t_cold * 1e3:.1f} ms, "
-          f"cached {t_cached * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    record_fields("wire", "encode_cache_speedup", rounds=rounds,
+                  cold_ms=round(t_cold * 1e3, 1),
+                  cached_ms=round(t_cached * 1e3, 1),
+                  speedup=f"{speedup:.1f}x")
     # Cached encodes skip header pack, body concat, and CRC-32; anything
     # under 2x would mean the cache is not actually being hit.
     assert speedup > 2.0
@@ -82,8 +86,8 @@ def test_fanout_hit_rate_from_metrics():
     hits = snap["codec.encode_cache.hits"]["value"]
     misses = snap["codec.encode_cache.misses"]["value"]
     hit_rate = hits / (hits + misses)
-    print(f"\nencode-cache: {hits} hits / {misses} misses "
-          f"(hit rate {hit_rate:.1%})")
+    record_fields("wire", "encode_cache_fanout", hits=hits, misses=misses,
+                  **{"hit rate": f"{hit_rate:.1%}"})
     assert misses == 200                      # one cold encode per frame
     assert hit_rate >= (FANOUT - 1) / FANOUT  # every fan-out copy hits
 
@@ -113,10 +117,12 @@ def test_codec_frame_spans_show_cached_calls():
     assert prof.count("codec.frame.decode") == 50
     mean_encode_us = prof.mean_s("codec.frame.encode") * 1e6
     mean_decode_us = prof.mean_s("codec.frame.decode") * 1e6
-    print(f"\ncodec.frame.encode: {prof.count('codec.frame.encode')} calls, "
-          f"mean {mean_encode_us:.2f} us (99% cached)")
-    print(f"codec.frame.decode: {prof.count('codec.frame.decode')} calls, "
-          f"mean {mean_decode_us:.2f} us")
+    record_fields("wire", "codec.frame.encode",
+                  calls=prof.count("codec.frame.encode"),
+                  mean_us=round(mean_encode_us, 2), cached="99%")
+    record_fields("wire", "codec.frame.decode",
+                  calls=prof.count("codec.frame.decode"),
+                  mean_us=round(mean_decode_us, 2))
 
 
 def test_netstack_encode_throughput(benchmark):

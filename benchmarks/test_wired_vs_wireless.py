@@ -6,17 +6,17 @@ where the query is visible.  Every wired MITM path requires inside
 access; the wireless paths require proximity only.
 """
 
-from conftest import print_rows, run_once
+from conftest import record_rows, run_once
 
 from repro.core.experiments import exp_wired_vs_wireless
 
 
 def test_wired_vs_wireless(benchmark):
     result = run_once(benchmark, exp_wired_vs_wireless, seed=1)
-    print_rows("E-WIRED: passive eavesdropping yield", result["sniffing"])
-    print_rows("E-WIRED: DNS-spoof executability", result["dns_spoof"])
-    print_rows("E-WIRED: MITM prerequisites (§1.2 taxonomy)",
-               result["mitm_paths"])
+    record_rows("E-WIRED: passive eavesdropping yield", result["sniffing"], area="wired")
+    record_rows("E-WIRED: DNS-spoof executability", result["dns_spoof"], area="wired")
+    record_rows("E-WIRED: MITM prerequisites (§1.2 taxonomy)",
+               result["mitm_paths"], area="wired")
 
     by_medium = {r["medium"]: r["overheard"] for r in result["sniffing"]}
     assert by_medium["wired (switch)"] <= 2          # isolation holds

@@ -1,0 +1,70 @@
+"""Structured records for the pytest benchmarks under ``benchmarks/``.
+
+The experiment benchmarks used to ``print()`` their reproduction
+tables and telemetry lines — human-readable under ``pytest -s``,
+invisible to machines.  Every emission now goes through this sink:
+the table still prints (the ``-s`` experience is unchanged), and a
+structured record accumulates in a session-wide list that
+``benchmarks/conftest.py`` can dump as JSON via ``--bench-records``.
+
+Records are plain dicts::
+
+    {"kind": "table",  "area": "detect", "title": ..., "rows": [...]}
+    {"kind": "record", "area": "wire",   "name": ...,  "fields": {...}}
+
+Nothing here touches timing — these are the *shape* results (rates,
+counts, confusion cells) whose determinism the repeat-run test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+__all__ = ["clear_records", "emit_record", "emit_table", "records",
+           "write_records"]
+
+_RECORDS: List[dict] = []
+
+
+def emit_table(area: str, title: str, rows: list,
+               order: Optional[list] = None) -> dict:
+    """Print a reproduction table and append its structured record."""
+    from repro.core.report import format_table
+
+    if rows:
+        headers = order or list(rows[0].keys())
+        print("\n" + format_table(
+            headers, [[r.get(h) for h in headers] for r in rows],
+            title=title) + "\n")
+    else:
+        print(f"{title}\n  (no rows)")
+    record = {"kind": "table", "area": area, "title": title, "rows": rows}
+    _RECORDS.append(record)
+    return record
+
+
+def emit_record(area: str, name: str, **fields) -> dict:
+    """Print one telemetry line and append its structured record."""
+    rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+    print(f"\n{name}: {rendered}")
+    record = {"kind": "record", "area": area, "name": name, "fields": fields}
+    _RECORDS.append(record)
+    return record
+
+
+def records() -> List[dict]:
+    """A copy of every record emitted this session."""
+    return list(_RECORDS)
+
+
+def clear_records() -> None:
+    _RECORDS.clear()
+
+
+def write_records(path: str) -> int:
+    """Dump the session's records as JSON; return the record count."""
+    with open(path, "w") as fh:
+        json.dump({"records": _RECORDS}, fh, indent=2, default=str)
+        fh.write("\n")
+    return len(_RECORDS)

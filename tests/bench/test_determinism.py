@@ -1,0 +1,45 @@
+"""Repeat-run determinism: benchmark payloads are timing-free facts.
+
+Two invocations of every registered benchmark must produce identical
+payloads — tables, counters, hit rates, CRCs.  Timing lands only in
+``BenchSample.value``; anything else that varied between runs would
+make the committed ``BENCH_<area>.json`` baselines churn on every
+``--update`` and would mark a benchmark whose *workload* (not speed)
+is nondeterministic — exactly the flake class this test deflakes.
+
+Runs at smoke scale so the double execution of the full suite stays
+test-suite cheap.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.registry import all_specs
+from repro.bench.runner import SMOKE_SCALE
+
+
+@pytest.mark.parametrize("spec", all_specs(),
+                         ids=lambda s: f"{s.area}/{s.metric}")
+def test_payload_identical_across_invocations(spec):
+    first = spec.run(scale=SMOKE_SCALE)
+    second = spec.run(scale=SMOKE_SCALE)
+    assert first.payload == second.payload, spec.key
+    # Payloads must also be JSON-clean (they get committed verbatim)
+    # and free of anything that smells like a wall-clock measurement.
+    encoded = json.dumps(first.payload, sort_keys=True)
+    decoded = json.loads(encoded)
+    assert decoded == first.payload
+    for key in first.payload:
+        assert not any(t in key for t in ("elapsed", "seconds", "_ms", "_s")), \
+            f"{spec.key}: payload key {key!r} looks like a timing"
+
+
+def test_payloads_are_nonempty():
+    """Every benchmark explains itself: no payload-less metrics."""
+    for spec in all_specs():
+        sample = spec.run(scale=SMOKE_SCALE)
+        assert sample.payload, f"{spec.key} returned an empty payload"
+        assert sample.value == sample.value, f"{spec.key} returned NaN"
