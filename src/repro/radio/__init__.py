@@ -10,6 +10,7 @@ collisions, and jamming.
 """
 
 from repro.radio.interference import Jammer
+from repro.radio.kernel import KERNELS, ScalarKernel, VectorKernel
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.mobility import LinearMobility
 from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
@@ -17,9 +18,12 @@ from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Positio
 __all__ = [
     "FrameLossModel",
     "Jammer",
+    "KERNELS",
     "LinearMobility",
     "LogDistancePathLoss",
     "Medium",
     "Position",
     "RadioPort",
+    "ScalarKernel",
+    "VectorKernel",
 ]

@@ -8,6 +8,12 @@ with a probability scaled by the victim's proximity.
 
 Jamming is not the paper's focus — it appears in the threat-model
 experiments only — so the model is intentionally coarse.
+
+Jammer loss is time-dependent (duty cycle) and therefore never cached
+by the radio kernel: the medium evaluates :meth:`Jammer.loss_at` per
+delivery, and only when at least one jammer is registered — a
+jammer-free world pays nothing (``p *= 1.0`` is a float no-op, so the
+gate is bit-identical to the old unconditional multiply).
 """
 
 from __future__ import annotations

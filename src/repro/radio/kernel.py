@@ -1,0 +1,588 @@
+"""Propagation kernels: scalar reference and the vectorized fast path.
+
+:class:`Medium` resolves every transmission against every attached
+:class:`~repro.radio.medium.RadioPort`.  The *scalar* kernel is the
+original per-(tx, rx) formulation — ``math.hypot`` + ``math.log10`` +
+channel rejection recomputed for every pair on every transmission.  It
+is kept verbatim as the differential-testing reference
+(``Medium(kernel="scalar")``).
+
+The *vector* kernel (the default) makes dense worlds tractable by
+never recomputing geometry that has not changed:
+
+* **Pair path-loss rows** — for each transmitter, the base (shadowing-
+  free) path loss to every attached port, computed once with the exact
+  same scalar ``math`` calls the reference uses and then reused.  Rows
+  are maintained incrementally: ``attach`` appends one pair per cached
+  row, ``detach`` deletes one column, and a station *move* updates only
+  that station's column in every cached row (and drops the mover's own
+  row).  NumPy — when available — is used only for IEEE-exact
+  operations (elementwise add/sub/compare), never for ``hypot``/
+  ``log10``, which differ from ``math`` by 1 ULP on ~1% of inputs and
+  would break bit-identity with the scalar reference.
+* **Rejection rows** — per transmit channel, the dB of channel
+  rejection each receiver applies (``inf`` = deaf), updated in place
+  when a port retunes.
+* **Delivery plans** — per transmitter, the precomputed fan-out: the
+  hearable receivers in port order with their exact RSSI and frame-
+  success probability.  A plan is valid while the kernel's version
+  counter, the transmitter's power/channel, and the loss-model
+  parameters are unchanged.
+
+RNG-order preservation rules (the contract the differential harness
+in ``tests/radio/test_kernel_equivalence.py`` proves):
+
+1. With shadowing disabled (the default), the scalar path draws no RNG
+   while computing RSSI, so serving RSSI from cache consumes zero
+   draws — identical stream.
+2. With shadowing enabled, the scalar path draws one ``gauss`` per
+   ``rssi_between`` in receiver order; the vector kernel falls back to
+   a cached-geometry *scalar-order* loop that makes exactly those
+   draws (plans are bypassed entirely).
+3. Delivery bernoullis replicate :meth:`SimRandom.bernoulli` exactly,
+   including its no-draw shortcuts at ``p <= 0`` and ``p >= 1``.
+4. Receivers are always visited in port order, so interleaved draws
+   and delivery callbacks occur in the reference sequence.
+
+Invalidation contract: any write to ``port.position`` (routed through
+:meth:`RadioPort.move_to`), ``port.channel``, ``port.any_channel``,
+``port.enabled`` or ``port.on_receive`` notifies the kernel before the
+next transmission resolves, so a cache can never serve stale geometry
+or deliver to a receiver that just vanished.  Mutating the loss-model
+or path-loss *parameters* mid-run is caught by a per-fan-out parameter
+snapshot check.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.dot11.channels import channel_rejection_db, channels_overlap
+from repro.obs.runtime import obs_metrics
+from repro.sim.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.medium import Medium, RadioPort, _InFlight
+
+try:  # numpy accelerates row arithmetic; plain lists work identically.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+__all__ = ["KERNELS", "DEFAULT_KERNEL", "ScalarKernel", "VectorKernel",
+           "make_kernel"]
+
+KERNELS = ("vector", "scalar")
+
+#: Kernel used when ``Medium(kernel=None)``; tests flip this to run
+#: whole prebuilt scenarios (which construct their own Medium) under
+#: the scalar reference for end-to-end differential comparison.
+DEFAULT_KERNEL = "vector"
+
+_DEAF = float("inf")
+
+# Bounds on cached state so a world where every one of 10k stations
+# transmits once cannot hold O(N^2) floats; eviction is oldest-first.
+_MAX_ROWS = 128
+_MAX_PLANS = 128
+
+# Memoized channel rejection: (tx_channel, rx_channel) -> dB, inf=deaf.
+_REJECTION: dict = {}
+
+
+def rejection_db(tx_channel: int, rx_channel: int, any_channel: bool) -> float:
+    """Scalar channel rejection with ``inf`` standing in for "deaf".
+
+    Mirrors :meth:`Medium._channel_rejection` (``any_channel`` wins
+    before any channel validation, exactly like the reference).
+    """
+    if any_channel:
+        return 0.0
+    key = (tx_channel, rx_channel)
+    cached = _REJECTION.get(key)
+    if cached is None:
+        if not channels_overlap(tx_channel, rx_channel):
+            cached = _DEAF
+        else:
+            cached = channel_rejection_db(tx_channel, rx_channel)
+        _REJECTION[key] = cached
+    return cached
+
+
+def make_kernel(name: Optional[str], medium: "Medium"):
+    """Resolve a kernel by name (``None`` -> :data:`DEFAULT_KERNEL`)."""
+    resolved = DEFAULT_KERNEL if name is None else name
+    if resolved == "vector":
+        return VectorKernel(medium)
+    if resolved == "scalar":
+        return ScalarKernel(medium)
+    raise ConfigurationError(
+        f"unknown radio kernel {name!r}; expected one of {KERNELS}")
+
+
+class ScalarKernel:
+    """The original per-pair formulation, kept as the reference path."""
+
+    name = "scalar"
+
+    def __init__(self, medium: "Medium") -> None:
+        self.medium = medium
+
+    # -- invalidation hooks: nothing is cached, nothing to do ----------
+    def on_attach(self, port) -> None:
+        pass
+
+    def on_detach(self, port) -> None:
+        pass
+
+    def on_move(self, port) -> None:
+        pass
+
+    def on_phy_change(self, port) -> None:
+        pass
+
+    # -- propagation ---------------------------------------------------
+    def rssi(self, tx: "RadioPort", rx: "RadioPort") -> float:
+        medium = self.medium
+        distance = tx.position.distance_to(rx.position)
+        return medium.path_loss.rssi_dbm(tx.tx_power_dbm, distance,
+                                         medium._rng)
+
+    def mark_collisions(self, new: "_InFlight", inflight) -> None:
+        medium = self.medium
+        for other in inflight:
+            if not channels_overlap(new.channel, other.channel):
+                continue
+            # At each potential receiver, the weaker of two overlapping
+            # signals is corrupted; both are if within the capture margin.
+            for rx in medium.ports:
+                if rx is new.port or rx is other.port:
+                    continue
+                rssi_new = self.rssi(new.port, rx)
+                rssi_other = self.rssi(other.port, rx)
+                if not (medium.loss_model.hearable(rssi_new)
+                        and medium.loss_model.hearable(rssi_other)):
+                    continue
+                if rssi_new - rssi_other >= medium.capture_margin_db:
+                    other.collide_at(rx)
+                elif rssi_other - rssi_new >= medium.capture_margin_db:
+                    new.collide_at(rx)
+                else:
+                    new.collide_at(rx)
+                    other.collide_at(rx)
+
+    def fan_out(self, entry: "_InFlight", m, rec, tid) -> None:
+        medium = self.medium
+        tx_port = entry.port
+        for rx in medium.ports:
+            if rx is tx_port or not rx.enabled or rx.on_receive is None:
+                continue
+            rejection = medium._channel_rejection(entry.channel, rx)
+            if rejection is None:
+                continue
+            rssi = self.rssi(tx_port, rx) - rejection
+            if not medium.loss_model.hearable(rssi):
+                continue
+            medium._deliver(entry, rx, rssi, m, rec, tid)
+
+
+class _TxPlan:
+    """One transmitter's precomputed fan-out (hearable targets in port
+    order with exact RSSI and base success probability).
+
+    ``sure`` is the delivery list stripped to 3-tuples when *every*
+    target has ``p_base >= 1.0``: ``bernoulli(p >= 1)`` draws nothing,
+    so the per-target probability check can be hoisted out of the hot
+    loop entirely without touching the RNG stream or delivery order.
+    It is ``None`` when any target can drop.
+    """
+
+    __slots__ = ("version", "tx_power", "channel", "targets", "sure")
+
+    def __init__(self, version, tx_power, channel, targets):
+        self.version = version
+        self.tx_power = tx_power
+        self.channel = channel
+        self.targets = targets  # [(rx, on_receive, rssi, p_base), ...]
+        if all(t[3] >= 1.0 for t in targets):
+            self.sure = [(rx, cb, rssi) for rx, cb, rssi, _p in targets]
+        else:
+            self.sure = None
+
+
+class VectorKernel:
+    """Cached-geometry, batched fan-out kernel (bit-identical to scalar)."""
+
+    name = "vector"
+
+    def __init__(self, medium: "Medium") -> None:
+        self.medium = medium
+        self._idx: dict[int, int] = {}          # id(port) -> index
+        self._pl_rows: dict[int, object] = {}   # id(tx) -> base-loss row
+        self._rej_rows: dict[int, object] = {}  # tx channel -> rejection row
+        self._plans: dict[int, _TxPlan] = {}    # id(tx) -> delivery plan
+        self._version = 0
+        self._params = self._snapshot_params()
+        # Engineering counters (plain ints; mirrored to obs when active).
+        self.row_builds = 0
+        self.row_updates = 0
+        self.plan_builds = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # parameter safety net
+    # ------------------------------------------------------------------
+    def _snapshot_params(self):
+        pl, lm = self.medium.path_loss, self.medium.loss_model
+        return (pl.exponent, pl.pl_d0_db, lm.threshold_dbm, lm.width_db,
+                lm.extra_loss)
+
+    def _check_params(self) -> None:
+        params = self._snapshot_params()
+        if params != self._params:
+            # Model parameters were mutated mid-run (e.g. an extra_loss
+            # sweep): every cached product is suspect.  Full reset.
+            self._params = params
+            self._pl_rows.clear()
+            self._plans.clear()
+            self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # invalidation hooks (called by Medium / RadioPort setters)
+    # ------------------------------------------------------------------
+    def on_attach(self, port) -> None:
+        ports = self.medium.ports
+        k = len(ports) - 1          # Medium appended before notifying
+        self._idx[id(port)] = k
+        port_of = self._port_of
+        for tx_id, row in self._pl_rows.items():
+            value = self._pair_base_loss(port_of(tx_id), port)
+            if _np is not None:
+                self._pl_rows[tx_id] = _np.append(row, value)
+            else:
+                row.append(value)
+        for channel, row in self._rej_rows.items():
+            value = rejection_db(channel, port.channel, port.any_channel)
+            if _np is not None:
+                self._rej_rows[channel] = _np.append(row, value)
+            else:
+                row.append(value)
+        self._bump()
+        self._record_sizes()
+
+    def on_detach(self, port) -> None:
+        k = self._idx.pop(id(port), None)
+        if k is None:
+            return
+        for pid, i in self._idx.items():
+            if i > k:
+                self._idx[pid] = i - 1
+        self._pl_rows.pop(id(port), None)
+        self._plans.pop(id(port), None)
+        for tx_id, row in list(self._pl_rows.items()):
+            if _np is not None:
+                self._pl_rows[tx_id] = _np.delete(row, k)
+            else:
+                del row[k]
+        for channel, row in list(self._rej_rows.items()):
+            if _np is not None:
+                self._rej_rows[channel] = _np.delete(row, k)
+            else:
+                del row[k]
+        self._bump()
+        self._record_sizes()
+
+    def on_move(self, port) -> None:
+        k = self._idx.get(id(port))
+        if k is None:
+            return
+        # Per-station invalidation: refresh only the mover's column in
+        # every cached row; the mover's own row is dropped (rebuilt
+        # lazily the next time it transmits).
+        self._pl_rows.pop(id(port), None)
+        port_of = self._port_of
+        for tx_id, row in self._pl_rows.items():
+            row[k] = self._pair_base_loss(port_of(tx_id), port)
+            self.row_updates += 1
+        self._bump()
+
+    def on_phy_change(self, port) -> None:
+        k = self._idx.get(id(port))
+        if k is None:
+            return
+        for channel, row in self._rej_rows.items():
+            row[k] = rejection_db(channel, port.channel, port.any_channel)
+        self._bump()
+
+    def _port_of(self, port_id: int) -> "RadioPort":
+        return self.medium.ports[self._idx[port_id]]
+
+    def _record_sizes(self) -> None:
+        m = obs_metrics()
+        if m is not None:
+            m.set_gauge("radio.kernel.pl_rows", len(self._pl_rows))
+            m.set_gauge("radio.kernel.plans", len(self._plans))
+
+    # ------------------------------------------------------------------
+    # cached geometry
+    # ------------------------------------------------------------------
+    def _pair_base_loss(self, tx, rx) -> float:
+        """Base (shadowing-free) path loss, exact scalar computation.
+
+        Delegates to :meth:`LogDistancePathLoss.path_loss_db` with
+        ``rng=None`` so the cached value is bit-identical to the base
+        term of the reference — including the 0.1 m distance clamp.
+        """
+        distance = tx.position.distance_to(rx.position)
+        return self.medium.path_loss.path_loss_db(distance, None)
+
+    def _row(self, tx):
+        row = self._pl_rows.get(id(tx))
+        if row is not None:
+            return row
+        ports = self.medium.ports
+        values = [self._pair_base_loss(tx, rx) for rx in ports]
+        row = _np.asarray(values) if _np is not None else values
+        if len(self._pl_rows) >= _MAX_ROWS:
+            self._pl_rows.pop(next(iter(self._pl_rows)))
+        self._pl_rows[id(tx)] = row
+        self.row_builds += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("radio.kernel.row_builds")
+            m.set_gauge("radio.kernel.pl_rows", len(self._pl_rows))
+        return row
+
+    def _rej_row(self, channel: int):
+        row = self._rej_rows.get(channel)
+        if row is not None:
+            return row
+        values = [rejection_db(channel, rx.channel, rx.any_channel)
+                  for rx in self.medium.ports]
+        row = _np.asarray(values) if _np is not None else values
+        self._rej_rows[channel] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def rssi(self, tx: "RadioPort", rx: "RadioPort") -> float:
+        medium = self.medium
+        self._check_params()
+        tx_id, rx_id = id(tx), id(rx)
+        if tx_id in self._idx and rx_id in self._idx:
+            base = float(self._row(tx)[self._idx[rx_id]])
+        else:
+            # Either side is not attached here: pure geometry, uncached.
+            base = self._pair_base_loss(tx, rx)
+        sigma = medium.path_loss.shadowing_sigma_db
+        if sigma > 0.0:
+            # Same op order as the reference: loss = base, loss += gauss.
+            base = base + medium._rng.gauss(0.0, sigma)
+        return tx.tx_power_dbm - base
+
+    def _plan(self, tx: "RadioPort") -> _TxPlan:
+        plan = self._plans.get(id(tx))
+        if (plan is not None and plan.version == self._version
+                and plan.tx_power == tx.tx_power_dbm
+                and plan.channel == tx.channel):
+            return plan
+        medium = self.medium
+        row = self._row(tx)
+        rej = self._rej_row(tx.channel)
+        power = tx.tx_power_dbm
+        ports = medium.ports
+        # Scalar reference op order per receiver:
+        #   rssi = (power - base_loss) - rejection
+        # numpy add/sub/compare are IEEE-exact, so the batched floats
+        # are bit-identical to the loop the scalar kernel runs.
+        audible = medium.loss_model.threshold_dbm - 10.0
+        success = medium.loss_model.success_probability
+        targets = []
+        if _np is not None:
+            rssi_row = (power - row) - rej
+            hear = rssi_row >= audible
+            tx_k = self._idx.get(id(tx))
+            if tx_k is not None:
+                hear[tx_k] = False
+            for k in _np.flatnonzero(hear):
+                rx = ports[k]
+                if not rx.enabled or rx.on_receive is None:
+                    continue
+                rssi = float(rssi_row[k])
+                targets.append((rx, rx.on_receive, rssi, success(rssi)))
+        else:
+            for k, rx in enumerate(ports):
+                if rx is tx or not rx.enabled or rx.on_receive is None:
+                    continue
+                rssi = (power - row[k]) - rej[k]
+                if rssi >= audible:
+                    targets.append((rx, rx.on_receive, rssi, success(rssi)))
+        plan = _TxPlan(self._version, power, tx.channel, targets)
+        if len(self._plans) >= _MAX_PLANS:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[id(tx)] = plan
+        self.plan_builds += 1
+        m = obs_metrics()
+        if m is not None:
+            m.incr("radio.kernel.plan_builds")
+            m.set_gauge("radio.kernel.plans", len(self._plans))
+        return plan
+
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+    def fan_out(self, entry: "_InFlight", m, rec, tid) -> None:
+        medium = self.medium
+        self._check_params()
+        tx_port = entry.port
+        sigma = medium.path_loss.shadowing_sigma_db
+        if sigma > 0.0:
+            self._fan_out_shadowed(entry, m, rec, tid, sigma)
+            return
+        plan = self._plan(tx_port)
+        if (m is None and tid is None and entry.collided_at is None
+                and not medium._jammers):
+            # The hot path: nothing to observe, nothing collided, no
+            # jamming — delivery is bernoulli + callback per target.
+            # ``rand() >= p`` consumes exactly the draw bernoulli(p)
+            # would (and p<=0 / p>=1 skip the draw, like bernoulli).
+            frame, channel = entry.frame, entry.channel
+            if plan.sure is not None:
+                # Every target delivers with certainty: no draws at all
+                # (matching bernoulli's p >= 1 shortcut), so the loop is
+                # counter + callback and nothing else.
+                for rx, on_receive, rssi in plan.sure:
+                    rx.rx_frames += 1
+                    on_receive(frame, rssi, channel)
+                return
+            rand = medium._rng._random.random
+            for rx, on_receive, rssi, p in plan.targets:
+                if p < 1.0:
+                    if p <= 0.0 or rand() >= p:
+                        rx.rx_dropped_loss += 1
+                        continue
+                rx.rx_frames += 1
+                on_receive(frame, rssi, channel)
+            return
+        deliver = medium._deliver
+        for rx, _on_receive, rssi, p in plan.targets:
+            deliver(entry, rx, rssi, m, rec, tid, p_base=p)
+
+    def _fan_out_shadowed(self, entry, m, rec, tid, sigma) -> None:
+        # Shadowing draws one gauss per (tx, rx) in receiver order; the
+        # plan cache cannot apply, but the geometry cache still does.
+        medium = self.medium
+        tx_port = entry.port
+        row = self._row(tx_port)
+        rej = self._rej_row(entry.channel)
+        power = tx_port.tx_power_dbm
+        gauss = medium._rng.gauss
+        hearable = medium.loss_model.hearable
+        for k, rx in enumerate(medium.ports):
+            if rx is tx_port or not rx.enabled or rx.on_receive is None:
+                continue
+            rejection = rej[k]
+            if rejection == _DEAF:
+                continue            # the reference skips before drawing
+            loss = row[k] + gauss(0.0, sigma)
+            rssi = float((power - loss) - rejection)
+            if not hearable(rssi):
+                continue
+            medium._deliver(entry, rx, rssi, m, rec, tid)
+
+    # ------------------------------------------------------------------
+    # collisions
+    # ------------------------------------------------------------------
+    def mark_collisions(self, new: "_InFlight", inflight) -> None:
+        medium = self.medium
+        self._check_params()
+        sigma = medium.path_loss.shadowing_sigma_db
+        for other in inflight:
+            if not channels_overlap(new.channel, other.channel):
+                continue
+            if sigma > 0.0:
+                self._collide_pair_shadowed(new, other, sigma)
+            else:
+                self._collide_pair(new, other)
+
+    def _collide_pair(self, new, other) -> None:
+        medium = self.medium
+        ports = medium.ports
+        margin = medium.capture_margin_db
+        audible = medium.loss_model.threshold_dbm - 10.0
+        row_new = self._row(new.port)
+        row_other = self._row(other.port)
+        p_new, p_other = new.port.tx_power_dbm, other.port.tx_power_dbm
+        if _np is not None:
+            rssi_new = p_new - row_new
+            rssi_other = p_other - row_other
+            hear = (rssi_new >= audible) & (rssi_other >= audible)
+            for key in (id(new.port), id(other.port)):
+                k = self._idx.get(key)
+                if k is not None:
+                    hear[k] = False
+            candidates = _np.flatnonzero(hear)
+        else:
+            rssi_new = [p_new - v for v in row_new]
+            rssi_other = [p_other - v for v in row_other]
+            excluded = {self._idx.get(id(new.port)),
+                        self._idx.get(id(other.port))}
+            candidates = [k for k in range(len(ports))
+                          if k not in excluded
+                          and rssi_new[k] >= audible
+                          and rssi_other[k] >= audible]
+        for k in candidates:
+            rn, ro = float(rssi_new[k]), float(rssi_other[k])
+            rx = ports[k]
+            if rn - ro >= margin:
+                other.collide_at(rx)
+            elif ro - rn >= margin:
+                new.collide_at(rx)
+            else:
+                new.collide_at(rx)
+                other.collide_at(rx)
+
+    def _collide_pair_shadowed(self, new, other, sigma) -> None:
+        # Reference draw order: per receiver, gauss for the new frame
+        # then gauss for the one already in flight.
+        medium = self.medium
+        margin = medium.capture_margin_db
+        hearable = medium.loss_model.hearable
+        gauss = medium._rng.gauss
+        row_new = self._row(new.port)
+        row_other = self._row(other.port)
+        p_new, p_other = new.port.tx_power_dbm, other.port.tx_power_dbm
+        for k, rx in enumerate(medium.ports):
+            if rx is new.port or rx is other.port:
+                continue
+            rssi_new = p_new - (row_new[k] + gauss(0.0, sigma))
+            rssi_other = p_other - (row_other[k] + gauss(0.0, sigma))
+            if not (hearable(rssi_new) and hearable(rssi_other)):
+                continue
+            if rssi_new - rssi_other >= margin:
+                other.collide_at(rx)
+            elif rssi_other - rssi_new >= margin:
+                new.collide_at(rx)
+            else:
+                new.collide_at(rx)
+                other.collide_at(rx)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, obs)
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        return {
+            "version": self._version,
+            "pl_rows": len(self._pl_rows),
+            "rej_rows": len(self._rej_rows),
+            "plans": len(self._plans),
+            "row_builds": self.row_builds,
+            "row_updates": self.row_updates,
+            "plan_builds": self.plan_builds,
+            "invalidations": self.invalidations,
+        }

@@ -13,17 +13,24 @@ one is ``capture_margin_db`` stronger (physical-layer capture).  The
 model is coarse — no CSMA/CA backoff — because none of the paper's
 results depend on contention behaviour; experiments that need a clean
 medium simply pace their traffic.
+
+Propagation is resolved by a pluggable *kernel* (see
+:mod:`repro.radio.kernel`): the default ``"vector"`` kernel serves
+RSSI and fan-out plans from an incrementally maintained station-pair
+geometry cache, and ``Medium(kernel="scalar")`` keeps the original
+per-pair reference path for differential testing.  The two are
+bit-identical — same deliveries, same drops, same RNG draws.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional
 
 from repro.dot11.channels import channel_rejection_db, channels_overlap
 from repro.dot11.frames import Dot11Frame
 from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import active_profiler, obs_metrics
+from repro.radio.kernel import make_kernel
 from repro.radio.propagation import FrameLossModel, LogDistancePathLoss, Position
 from repro.sim.errors import ConfigurationError
 from repro.sim.kernel import Simulator
@@ -43,6 +50,14 @@ class RadioPort:
     PHY state (position, channel, power) and the receive callback.
     Monitor-mode behaviour is selected with ``promiscuous=True`` plus
     ``any_channel=True`` if the sniffer hops/records all channels.
+
+    PHY state that the medium's propagation kernel caches against —
+    position, channel, ``any_channel``, ``enabled``, ``on_receive`` —
+    is exposed through notifying properties: plain assignment (e.g.
+    ``port.position = ...`` or ``port.channel = 6``) routes through the
+    kernel's invalidation hooks, so cached geometry can never go stale
+    silently.  :meth:`move_to` is the explicit movement API; every
+    position write funnels through it and bumps :attr:`position_epoch`.
     """
 
     def __init__(
@@ -56,15 +71,18 @@ class RadioPort:
         any_channel: bool = False,
     ) -> None:
         self.name = name
-        self.position = position
-        self.channel = channel
+        self._position = position
+        self._channel = channel
         self.tx_power_dbm = tx_power_dbm
         self.promiscuous = promiscuous
-        self.any_channel = any_channel
-        self.enabled = True
+        self._any_channel = any_channel
+        self._enabled = True
         # Set by the owner: called with (frame, rssi_dbm, channel).
-        self.on_receive: Optional[Callable[[Dot11Frame, float, int], None]] = None
+        self._on_receive: Optional[Callable[[Dot11Frame, float, int], None]] = None
         self._medium: Optional["Medium"] = None
+        #: Bumped on every position write; the geometry-cache staleness
+        #: contract tests assert against it.
+        self.position_epoch = 0
         # PHY counters.
         self.tx_frames = 0
         self.tx_bytes = 0
@@ -72,6 +90,64 @@ class RadioPort:
         self.rx_dropped_loss = 0
         self.rx_dropped_collision = 0
 
+    # -- kernel-notifying PHY state ------------------------------------
+    @property
+    def position(self) -> Position:
+        return self._position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        self.move_to(value)
+
+    def move_to(self, position: Position) -> None:
+        """Move the radio; the attached medium's kernel is notified so
+        the very next transmission reflects the new geometry."""
+        self._position = position
+        self.position_epoch += 1
+        if self._medium is not None:
+            self._medium._kernel.on_move(self)
+
+    @property
+    def channel(self) -> int:
+        return self._channel
+
+    @channel.setter
+    def channel(self, value: int) -> None:
+        self._channel = value
+        if self._medium is not None:
+            self._medium._kernel.on_phy_change(self)
+
+    @property
+    def any_channel(self) -> bool:
+        return self._any_channel
+
+    @any_channel.setter
+    def any_channel(self, value: bool) -> None:
+        self._any_channel = value
+        if self._medium is not None:
+            self._medium._kernel.on_phy_change(self)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        if self._medium is not None:
+            self._medium._kernel.on_phy_change(self)
+
+    @property
+    def on_receive(self) -> Optional[Callable[[Dot11Frame, float, int], None]]:
+        return self._on_receive
+
+    @on_receive.setter
+    def on_receive(self, value) -> None:
+        self._on_receive = value
+        if self._medium is not None:
+            self._medium._kernel.on_phy_change(self)
+
+    # -- lifecycle -----------------------------------------------------
     def attach(self, medium: "Medium") -> None:
         self._medium = medium
 
@@ -79,24 +155,37 @@ class RadioPort:
         """Send a frame onto the air on this port's channel."""
         if self._medium is None:
             raise ConfigurationError(f"radio {self.name!r} is not attached to a medium")
-        if not self.enabled:
+        if not self._enabled:
             return
         self._medium.transmit(self, frame, bitrate)
 
     def __repr__(self) -> str:
-        return f"<RadioPort {self.name} ch={self.channel} at ({self.position.x:.0f},{self.position.y:.0f})>"
+        return f"<RadioPort {self.name} ch={self._channel} at ({self._position.x:.0f},{self._position.y:.0f})>"
 
 
-@dataclass
 class _InFlight:
-    """Bookkeeping for a transmission currently occupying the air."""
+    """Bookkeeping for a transmission currently occupying the air.
 
-    port: RadioPort
-    channel: int
-    start: float
-    end: float
-    frame: Dot11Frame
-    collided_at: set[RadioPort] = field(default_factory=set)
+    ``collided_at`` stays ``None`` until a collision is marked — the
+    common case allocates no set and the fan-out hot path checks one
+    ``is None``.
+    """
+
+    __slots__ = ("port", "channel", "start", "end", "frame", "collided_at")
+
+    def __init__(self, port: RadioPort, channel: int, start: float,
+                 end: float, frame: Dot11Frame) -> None:
+        self.port = port
+        self.channel = channel
+        self.start = start
+        self.end = end
+        self.frame = frame
+        self.collided_at: Optional[set[RadioPort]] = None
+
+    def collide_at(self, rx: RadioPort) -> None:
+        if self.collided_at is None:
+            self.collided_at = set()
+        self.collided_at.add(rx)
 
 
 class Medium:
@@ -110,6 +199,7 @@ class Medium:
         *,
         collisions: bool = True,
         capture_margin_db: float = 10.0,
+        kernel: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.path_loss = path_loss or LogDistancePathLoss()
@@ -122,6 +212,14 @@ class Medium:
         self._jammers: list = []  # populated by interference.Jammer
         # Per-channel medium reservation (CSMA-style deferral).
         self._busy_until: dict[int, float] = {}
+        # Propagation kernel: "vector" (cached geometry, the default)
+        # or "scalar" (the per-pair reference path).
+        self._kernel = make_kernel(kernel, self)
+
+    @property
+    def kernel(self):
+        """The active propagation kernel (``.name`` is its identity)."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     # attachment
@@ -130,6 +228,7 @@ class Medium:
         if port in self.ports:
             raise ConfigurationError(f"radio {port.name!r} already attached")
         self.ports.append(port)
+        self._kernel.on_attach(port)
         port.attach(self)
         m = obs_metrics()
         if m is not None:
@@ -138,6 +237,8 @@ class Medium:
 
     def detach(self, port: RadioPort) -> None:
         if port in self.ports:
+            # Kernel first, while its port index is still aligned.
+            self._kernel.on_detach(port)
             self.ports.remove(port)
             # Clear the back-reference so a detached port cannot keep
             # transmitting into this medium through a stale handle.
@@ -154,8 +255,7 @@ class Medium:
 
     def rssi_between(self, tx: RadioPort, rx: RadioPort) -> float:
         """RSSI at ``rx`` for a transmission from ``tx`` (before channel rejection)."""
-        distance = tx.position.distance_to(rx.position)
-        return self.path_loss.rssi_dbm(tx.tx_power_dbm, distance, self._rng)
+        return self._kernel.rssi(tx, rx)
 
     def transmit(self, tx_port: RadioPort, frame: Dot11Frame, bitrate: float,
                  *, carrier_sense: bool = True) -> None:
@@ -206,9 +306,7 @@ class Medium:
 
     def _begin_tx(self, tx_port: RadioPort, frame: Dot11Frame, duration: float) -> None:
         now = self.sim.now
-        entry = _InFlight(
-            port=tx_port, channel=tx_port.channel, start=now, end=now + duration, frame=frame
-        )
+        entry = _InFlight(tx_port, tx_port.channel, now, now + duration, frame)
         tx_port.tx_frames += 1
         tx_port.tx_bytes += frame.air_bytes()
         if self.collisions:
@@ -219,25 +317,8 @@ class Medium:
     def _mark_collisions(self, new: _InFlight) -> None:
         """Resolve time-overlap between ``new`` and frames already in the air."""
         self._inflight = [e for e in self._inflight if e.end > self.sim.now]
-        for other in self._inflight:
-            if not channels_overlap(new.channel, other.channel):
-                continue
-            # At each potential receiver, the weaker of two overlapping
-            # signals is corrupted; both are if within the capture margin.
-            for rx in self.ports:
-                if rx is new.port or rx is other.port:
-                    continue
-                rssi_new = self.rssi_between(new.port, rx)
-                rssi_other = self.rssi_between(other.port, rx)
-                if not (self.loss_model.hearable(rssi_new) and self.loss_model.hearable(rssi_other)):
-                    continue
-                if rssi_new - rssi_other >= self.capture_margin_db:
-                    other.collided_at.add(rx)
-                elif rssi_other - rssi_new >= self.capture_margin_db:
-                    new.collided_at.add(rx)
-                else:
-                    new.collided_at.add(rx)
-                    other.collided_at.add(rx)
+        if self._inflight:
+            self._kernel.mark_collisions(new, self._inflight)
 
     def _complete(self, entry: _InFlight) -> None:
         """Deliver a finished transmission to every eligible receiver."""
@@ -258,53 +339,60 @@ class Medium:
         wids = active_wids()
         if wids is not None:
             wids.offer(self, entry.frame, entry.channel, self.sim.now)
-        tx_port = entry.port
         m = obs_metrics()
         rec = flight_recorder()
         tid = entry.frame.trace_id if rec is not None else None
-        for rx in self.ports:
-            if rx is tx_port or not rx.enabled or rx.on_receive is None:
-                continue
-            rejection = self._channel_rejection(entry.channel, rx)
-            if rejection is None:
-                continue
-            rssi = self.rssi_between(tx_port, rx) - rejection
-            if not self.loss_model.hearable(rssi):
-                continue
-            if rx in entry.collided_at:
-                rx.rx_dropped_collision += 1
-                if m is not None:
-                    m.incr("radio.drops.collision")
-                if tid is not None:
-                    rec.hop("radio", "drop.collision", trace_id=tid,
-                            host=rx.name, t=self.sim.now)
-                continue
-            p_ok = self.loss_model.success_probability(rssi)
-            p_ok *= 1.0 - self._jamming_loss(entry.channel, rx)
-            if not self._rng.bernoulli(p_ok):
-                rx.rx_dropped_loss += 1
-                if m is not None:
-                    m.incr("radio.drops.loss")
-                if tid is not None:
-                    rec.hop("radio", "drop.loss", trace_id=tid,
-                            host=rx.name, t=self.sim.now,
-                            rssi=round(rssi, 1))
-                continue
-            rx.rx_frames += 1
+        self._kernel.fan_out(entry, m, rec, tid)
+
+    def _deliver(self, entry: _InFlight, rx: RadioPort, rssi: float,
+                 m, rec, tid, p_base: Optional[float] = None) -> None:
+        """Resolve one (hearable) receiver: collision, loss, delivery.
+
+        Shared by both kernels so the observable per-receiver sequence
+        — counters, metrics, recorder hops, the bernoulli draw, the
+        callback — cannot drift between them.  ``p_base`` lets the
+        vector kernel supply the success probability it precomputed
+        from the identical RSSI (bit-equal to recomputing it here).
+        """
+        collided = entry.collided_at
+        if collided is not None and rx in collided:
+            rx.rx_dropped_collision += 1
             if m is not None:
-                m.incr("radio.deliveries")
-                m.observe("radio.rssi_dbm", rssi, lo=-100.0, hi=-20.0, bins=40)
-            if tid is None:
+                m.incr("radio.drops.collision")
+            if tid is not None:
+                rec.hop("radio", "drop.collision", trace_id=tid,
+                        host=rx.name, t=self.sim.now)
+            return
+        p_ok = self.loss_model.success_probability(rssi) if p_base is None \
+            else p_base
+        if self._jammers:
+            # p *= 1.0 is a float no-op, so gating on "any jammers" is
+            # bit-identical to the unconditional multiply.
+            p_ok *= 1.0 - self._jamming_loss(entry.channel, rx)
+        if not self._rng.bernoulli(p_ok):
+            rx.rx_dropped_loss += 1
+            if m is not None:
+                m.incr("radio.drops.loss")
+            if tid is not None:
+                rec.hop("radio", "drop.loss", trace_id=tid,
+                        host=rx.name, t=self.sim.now,
+                        rssi=round(rssi, 1))
+            return
+        rx.rx_frames += 1
+        if m is not None:
+            m.incr("radio.deliveries")
+            m.observe("radio.rssi_dbm", rssi, lo=-100.0, hi=-20.0, bins=40)
+        if tid is None:
+            rx.on_receive(entry.frame, rssi, entry.channel)
+        else:
+            rec.hop("radio", "rx", trace_id=tid, host=rx.name,
+                    t=self.sim.now, rssi=round(rssi, 1),
+                    channel=entry.channel)
+            # Everything the receiver does synchronously with this
+            # frame — decap, IP, TCP, app, and any frames it sends
+            # in response — is causally downstream of it.
+            with rec.frame_context(tid):
                 rx.on_receive(entry.frame, rssi, entry.channel)
-            else:
-                rec.hop("radio", "rx", trace_id=tid, host=rx.name,
-                        t=self.sim.now, rssi=round(rssi, 1),
-                        channel=entry.channel)
-                # Everything the receiver does synchronously with this
-                # frame — decap, IP, TCP, app, and any frames it sends
-                # in response — is causally downstream of it.
-                with rec.frame_context(tid):
-                    rx.on_receive(entry.frame, rssi, entry.channel)
 
     def _channel_rejection(self, tx_channel: int, rx: RadioPort) -> Optional[float]:
         """dB of attenuation rx applies to tx_channel, or None if deaf to it."""

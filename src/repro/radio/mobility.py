@@ -7,6 +7,10 @@ literally walk from the legitimate AP's coverage into the rogue's —
 the physical mechanism that makes rogue capture effortless.  (Roaming
 *between* sites/domains is orchestrated at a higher level by
 :mod:`repro.workloads.roaming`.)
+
+Every tick goes through :meth:`RadioPort.move_to`, which bumps the
+port's position epoch and invalidates the medium's geometry cache —
+so a walking client's next transmission always uses fresh RSSI.
 """
 
 from __future__ import annotations
@@ -58,7 +62,7 @@ class LinearMobility:
         remaining = pos.distance_to(target)
         step = self.speed_mps * self.tick_s
         if remaining <= step:
-            self.port.position = target
+            self.port.move_to(target)
             self._target_idx += 1
             if self._target_idx >= len(self.waypoints):
                 if self.on_arrival is not None:
@@ -66,10 +70,10 @@ class LinearMobility:
                 return
         else:
             frac = step / remaining
-            self.port.position = Position(
+            self.port.move_to(Position(
                 pos.x + (target.x - pos.x) * frac,
                 pos.y + (target.y - pos.y) * frac,
-            )
+            ))
         self.sim.schedule(self.tick_s, self._tick)
 
     def stop(self) -> None:

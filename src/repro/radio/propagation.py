@@ -59,7 +59,14 @@ class LogDistancePathLoss:
         self.shadowing_sigma_db = shadowing_sigma_db
 
     def path_loss_db(self, distance_m: float, rng=None) -> float:
-        """Total loss in dB at ``distance_m`` (≥ 0.1 m clamp)."""
+        """Total loss in dB at ``distance_m`` (≥ 0.1 m clamp).
+
+        With ``rng=None`` the result is the deterministic base loss —
+        no shadowing draw even when ``shadowing_sigma_db > 0``.  The
+        vectorized radio kernel (:mod:`repro.radio.kernel`) relies on
+        this to cache the base term bit-identically and add the
+        per-call shadowing draw separately, preserving RNG order.
+        """
         d = max(distance_m, 0.1)
         loss = self.pl_d0_db + 10.0 * self.exponent * math.log10(d)
         if self.shadowing_sigma_db > 0.0 and rng is not None:

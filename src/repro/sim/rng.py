@@ -38,6 +38,15 @@ class SimRandom:
         """Return an independent stream derived from this one by ``name``."""
         return SimRandom(_derive_seed(self.seed, name))
 
+    def getstate(self):
+        """The underlying generator state (an opaque, comparable value).
+
+        Used by the kernel-equivalence differential harness to assert
+        that two runs consumed *exactly* the same draws — equal results
+        with a diverged stream position would still be a caching bug.
+        """
+        return self._random.getstate()
+
     # ------------------------------------------------------------------
     # basic draws (thin, documented wrappers around random.Random)
     # ------------------------------------------------------------------

@@ -58,6 +58,30 @@ def test_fig2_world_identical_for_identical_seed():
     assert counters_a == counters_b
 
 
+def test_fig2_world_identical_under_scalar_and_vector_kernels():
+    """End-to-end kernel differential on a *real* scenario.
+
+    The hypothesis harness (tests/radio/test_kernel_equivalence.py)
+    sweeps synthetic worlds; this golden locks the same claim on the
+    full FIG2 rogue-MITM world: flipping the radio kernel from the
+    vectorized default to the scalar reference must not move one trace
+    record or counter.  (Every other test in this file runs under the
+    vectorized default, so serial==parallel and the zero-perturbation
+    goldens already exercise it implicitly.)
+    """
+    import repro.radio.kernel as radio_kernel
+
+    assert radio_kernel.DEFAULT_KERNEL == "vector"
+    vector_cats, vector_counters = _run_fig2_world(seed=11)
+    radio_kernel.DEFAULT_KERNEL = "scalar"
+    try:
+        scalar_cats, scalar_counters = _run_fig2_world(seed=11)
+    finally:
+        radio_kernel.DEFAULT_KERNEL = "vector"
+    assert vector_cats == scalar_cats
+    assert vector_counters == scalar_counters
+
+
 def test_fig2_campaign_identical_serial_vs_parallel():
     serial = run_trials(6, fig2_compromise_trial, seed_base=300)
     parallel = run_trials(6, fig2_compromise_trial, seed_base=300, workers=4)

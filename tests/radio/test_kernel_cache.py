@@ -1,0 +1,191 @@
+"""Property tests for the vectorized kernel's geometry cache.
+
+The cache's contract: after *any* interleaving of moves, attaches and
+detaches, ``rssi_between`` returns exactly what a fresh
+``LogDistancePathLoss`` computation would — epoch invalidation never
+serves stale geometry, and caching never changes a single bit.  Plus
+the satellite regression for the silent stale-position hazard: a plain
+``port.position = ...`` assignment must behave exactly like
+``move_to()`` (bump the epoch, invalidate, and be visible on the very
+next transmission).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dot11.frames import make_beacon
+from repro.dot11.mac import MacAddress
+from repro.radio.medium import Medium, RadioPort
+from repro.radio.propagation import LogDistancePathLoss, Position
+from repro.sim.kernel import Simulator
+
+AP = MacAddress("aa:bb:cc:dd:00:01")
+
+_coord = st.floats(min_value=-60.0, max_value=60.0,
+                   allow_nan=False, allow_infinity=False, width=64)
+
+_op = st.fixed_dictionaries({
+    "kind": st.sampled_from(["move", "move_raw", "detach", "attach", "rssi"]),
+    "i": st.integers(min_value=0, max_value=7),
+    "j": st.integers(min_value=0, max_value=7),
+    "x": _coord,
+    "y": _coord,
+})
+
+
+def _fresh_rssi(medium: Medium, tx: RadioPort, rx: RadioPort) -> float:
+    """The uncached reference: recompute path loss from scratch."""
+    distance = tx.position.distance_to(rx.position)
+    return tx.tx_power_dbm - medium.path_loss.path_loss_db(distance, None)
+
+
+@settings(max_examples=150, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    positions=st.lists(st.tuples(_coord, _coord), min_size=2, max_size=6),
+    ops=st.lists(_op, min_size=0, max_size=20),
+)
+def test_cached_rssi_equals_fresh_computation_after_any_interleaving(
+        positions, ops):
+    sim = Simulator(seed=7)
+    medium = Medium(sim, kernel="vector")
+    ports = [RadioPort(f"p{i}", Position(x, y), 1)
+             for i, (x, y) in enumerate(positions)]
+    for p in ports:
+        medium.attach(p)
+    for op in ops:
+        port = ports[op["i"] % len(ports)]
+        kind = op["kind"]
+        if kind == "move":
+            port.move_to(Position(op["x"], op["y"]))
+        elif kind == "move_raw":
+            port.position = Position(op["x"], op["y"])
+        elif kind == "detach" and port._medium is not None:
+            medium.detach(port)
+        elif kind == "attach" and port._medium is None:
+            medium.attach(port)
+        elif kind == "rssi":
+            # Interleaved reads warm the cache mid-sequence so later
+            # invalidations act on *populated* rows, not empty ones.
+            other = ports[op["j"] % len(ports)]
+            if other is not port:
+                medium.rssi_between(port, other)
+    # After the dust settles every pair — cached or not — must agree
+    # with a from-scratch computation, exactly.
+    for tx in ports:
+        for rx in ports:
+            if tx is rx:
+                continue
+            assert medium.rssi_between(tx, rx) == _fresh_rssi(medium, tx, rx)
+
+
+@settings(max_examples=80, derandomize=True, deadline=None)
+@given(ax=_coord, ay=_coord, bx=_coord, by=_coord,
+       power=st.floats(min_value=1.0, max_value=30.0, allow_nan=False))
+def test_rssi_is_symmetric_for_equal_powers(ax, ay, bx, by, power):
+    """``math.hypot`` of negated deltas is bit-identical, so with equal
+    tx powers the cached RSSI must be *exactly* symmetric — each
+    direction cached in a different transmitter's row."""
+    sim = Simulator(seed=7)
+    medium = Medium(sim, kernel="vector")
+    a = RadioPort("a", Position(ax, ay), 1, tx_power_dbm=power)
+    b = RadioPort("b", Position(bx, by), 1, tx_power_dbm=power)
+    medium.attach(a)
+    medium.attach(b)
+    assert medium.rssi_between(a, b) == medium.rssi_between(b, a)
+
+
+def test_sub_decimetre_distances_clamp_to_point_one_metre():
+    """Coincident and near-coincident ports hit the 0.1 m clamp — the
+    cache must reproduce it, not divide by a tiny distance."""
+    sim = Simulator(seed=7)
+    medium = Medium(sim, kernel="vector")
+    a = RadioPort("a", Position(0.0, 0.0), 1)
+    coincident = RadioPort("b", Position(0.0, 0.0), 1)
+    near = RadioPort("c", Position(0.05, 0.0), 1)
+    for p in (a, coincident, near):
+        medium.attach(p)
+    clamped = a.tx_power_dbm - medium.path_loss.path_loss_db(0.1, None)
+    assert medium.rssi_between(a, coincident) == clamped
+    assert medium.rssi_between(a, near) == clamped
+
+
+def test_move_updates_cached_rows_incrementally():
+    """Movement patches the mover's column in cached rows (row_updates)
+    rather than rebuilding every row from scratch (row_builds)."""
+    sim = Simulator(seed=7)
+    medium = Medium(sim, kernel="vector")
+    ports = [RadioPort(f"p{i}", Position(float(i * 3), 0.0), 1)
+             for i in range(4)]
+    for p in ports:
+        medium.attach(p)
+    # Warm rows for two transmitters.
+    medium.rssi_between(ports[0], ports[1])
+    medium.rssi_between(ports[1], ports[2])
+    stats = medium.kernel.cache_stats()
+    assert stats["row_builds"] == 2 and stats["pl_rows"] == 2
+    ports[3].move_to(Position(1.0, 1.0))
+    stats = medium.kernel.cache_stats()
+    # One column patched per cached row, zero rebuilds.
+    assert stats["row_updates"] == 2
+    assert stats["row_builds"] == 2
+    # A mover with a cached row loses it (rebuilt lazily on next use).
+    ports[0].move_to(Position(2.0, 2.0))
+    assert medium.kernel.cache_stats()["pl_rows"] == 1
+
+
+class _Recorder:
+    def __init__(self, port):
+        self.rssi = []
+        port.on_receive = lambda frame, rssi, ch: self.rssi.append(rssi)
+
+
+def test_direct_position_write_is_visible_on_next_transmission():
+    """The stale-position hazard, closed: a plain assignment routes
+    through move_to(), so the very next transmission uses the new
+    geometry — no warm-up transmission, no manual invalidation."""
+    sim = Simulator(seed=7)
+    medium = Medium(sim, kernel="vector")
+    tx = RadioPort("tx", Position(0.0, 0.0), 1)
+    rx = RadioPort("rx", Position(10.0, 0.0), 1)
+    medium.attach(tx)
+    medium.attach(rx)
+    got = _Recorder(rx)
+    beacon = make_beacon(AP, "NET", 1)
+
+    tx.transmit(beacon)
+    sim.run()
+    epoch_before = tx.position_epoch
+    tx.position = Position(40.0, 0.0)          # plain write, not move_to()
+    assert tx.position_epoch == epoch_before + 1
+    tx.transmit(beacon)
+    sim.run()
+
+    assert len(got.rssi) == 2
+    expected_near = tx.tx_power_dbm - medium.path_loss.path_loss_db(10.0, None)
+    expected_far = tx.tx_power_dbm - medium.path_loss.path_loss_db(30.0, None)
+    assert got.rssi[0] == expected_near
+    assert got.rssi[1] == expected_far
+    assert got.rssi[1] < got.rssi[0]
+
+
+def test_receiver_move_invalidates_delivery_plans_too():
+    """Plans cache per-receiver RSSI; a *receiver* moving must
+    invalidate the transmitter's plan, not just the mover's own row."""
+    sim = Simulator(seed=7)
+    medium = Medium(sim, kernel="vector")
+    tx = RadioPort("tx", Position(0.0, 0.0), 1)
+    rx = RadioPort("rx", Position(5.0, 0.0), 1)
+    medium.attach(tx)
+    medium.attach(rx)
+    got = _Recorder(rx)
+    beacon = make_beacon(AP, "NET", 1)
+    tx.transmit(beacon)
+    sim.run()
+    rx.position = Position(25.0, 0.0)
+    tx.transmit(beacon)
+    sim.run()
+    assert got.rssi[0] == tx.tx_power_dbm - medium.path_loss.path_loss_db(5.0, None)
+    assert got.rssi[1] == tx.tx_power_dbm - medium.path_loss.path_loss_db(25.0, None)
