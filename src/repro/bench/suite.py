@@ -20,7 +20,11 @@ One registration per claim the repo has shipped:
 * ``wids/eval_alerts_per_s`` — PR 4's full E-WIDS evaluation, the
   sustained-throughput discipline the WIDS survey calls for;
 * ``trace/overhead_ratio`` — PR 3's flight recorder must stay a small
-  multiple of an unrecorded run (lower is better).
+  multiple of an unrecorded run (lower is better);
+* ``fleet/open_loop_sessions_per_s``, ``telemetry/snapshot_export_per_s``
+  — PR 8's open-loop campaign daemon: how fast one shard pushes
+  Poisson sessions through the corp world, and how fast the exporter
+  renders + encodes a merged registry (Prometheus text + JSON-lines).
 
 Every function takes ``scale`` (the runner passes 0.25 for
 ``--smoke``) and floors its workload so rates stay meaningful.
@@ -384,3 +388,78 @@ def trace_overhead(scale: float = 1.0) -> BenchSample:
         value=recorded_s / base_s if base_s > 0 else 1.0,
         payload={"capacity": 8192, "lineages": summary["lineages"],
                  "hops": summary["hops"], "evicted": summary["evicted"]})
+
+
+# --------------------------------------------------------------------------
+# telemetry — the open-loop campaign daemon (PR 8)
+# --------------------------------------------------------------------------
+
+@register("fleet", "open_loop_sessions_per_s", unit="sessions/s",
+          higher_is_better=True)
+def fleet_open_loop_sessions(scale: float = 1.0) -> BenchSample:
+    """Completed Poisson sessions/second through one open-loop shard.
+
+    One seed of the ``python -m repro serve`` workload: the full corp
+    world with the rogue armed, WIDS watching, clients arriving at a
+    fixed simulated rate, metrics collected — the wall-clock cost of a
+    shard slice-stepping its world end to end (including drain).
+    """
+    from repro.obs import collecting
+    from repro.telemetry.shard import OpenLoopShard
+
+    duration = max(1.0, 3.0 * scale)
+    shard = OpenLoopShard(duration_s=duration, rate_per_s=12.0,
+                          snapshot_every_s=1.0)
+    t0 = time.perf_counter()
+    with collecting():
+        summary = shard(seed=1)
+    elapsed = time.perf_counter() - t0
+    return BenchSample(
+        value=summary["completed"] / elapsed if elapsed > 0 else 0.0,
+        payload={"arrived": summary["arrived"],
+                 "completed": summary["completed"],
+                 "failed": summary["failed"],
+                 "compromised": summary["compromised"],
+                 "alerts": summary["alerts"]})
+
+
+@register("telemetry", "snapshot_export_per_s", unit="exports/s",
+          higher_is_better=True)
+def telemetry_snapshot_export(scale: float = 1.0) -> BenchSample:
+    """Merged-registry exports/second (Prometheus text + JSON-lines).
+
+    The daemon's scrape-path hot loop: snapshot a realistic registry,
+    render the text exposition, and JSON-encode the snapshot record.
+    The payload pins the rendered bytes (crc32) so a formatting change
+    cannot masquerade as a perf change.
+    """
+    import json as _json
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.telemetry.prometheus import parse_exposition, render_exposition
+
+    registry = MetricsRegistry()
+    for i in range(40):
+        registry.incr(f"telemetry.bench.counter.{i:02d}", i * 7 + 1)
+        registry.set_gauge(f"telemetry.bench.gauge.{i:02d}", i * 0.25)
+    for i in range(400):
+        registry.observe("telemetry.session.latency_s", (i % 97) * 0.3,
+                         lo=0.0, hi=40.0, bins=160)
+        registry.add_time("telemetry.bench.timer", (i % 13) * 0.01)
+    n = _scaled(300, scale, 30)
+    text = ""
+    t0 = time.perf_counter()
+    for _ in range(n):
+        snapshot = registry.snapshot()
+        text = render_exposition(snapshot)
+        _json.dumps({"kind": "snapshot", "index": 0, "seed": 1000,
+                     "metrics": snapshot}, sort_keys=True,
+                    separators=(",", ":"))
+    elapsed = time.perf_counter() - t0
+    families = parse_exposition(text)
+    samples = sum(len(f["samples"]) for f in families.values())
+    return BenchSample(
+        value=n / elapsed if elapsed > 0 else 0.0,
+        payload={"exports": n, "families": len(families),
+                 "samples": samples,
+                 "crc32": zlib.crc32(text.encode("utf-8"))})

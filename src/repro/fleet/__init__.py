@@ -20,6 +20,7 @@ in :mod:`repro.core.campaign`, and ``python -m repro sweep`` on the
 command line.  See DESIGN.md §7 for the architecture sketch.
 """
 
+from repro.fleet.channel import fleet_publish, publishing
 from repro.fleet.errors import (CampaignError, FleetError, TrialFailure,
                                 FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT)
 from repro.fleet.reduce import campaign_stats, merge_all
@@ -36,6 +37,8 @@ __all__ = [
     "FAIL_ERROR",
     "FAIL_TIMEOUT",
     "campaign_stats",
+    "fleet_publish",
     "merge_all",
+    "publishing",
     "run_campaign",
 ]

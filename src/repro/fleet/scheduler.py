@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.campaign import TrialStats
+from repro.fleet.channel import publishing
 from repro.fleet.errors import (FAIL_CRASH, FAIL_ERROR, FAIL_TIMEOUT,
                                 FleetError, TrialFailure)
 from repro.fleet.reduce import campaign_stats
@@ -150,7 +151,9 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
                  timeout: Optional[float] = None, retries: int = 1,
                  sample_traces: int = 0,
                  collect_metrics: bool = False,
-                 flight_recorder: int = 0) -> CampaignResult:
+                 flight_recorder: int = 0,
+                 on_snapshot: Optional[Callable[[int, dict], None]] = None,
+                 ) -> CampaignResult:
     """Run ``trial(seed)`` for ``n`` seeds, sharded over ``workers`` processes.
 
     Parameters
@@ -185,6 +188,17 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
         sample ships to the parent (see
         :attr:`CampaignResult.lineages` / ``merged_lineages``).  Like
         metrics, recording never perturbs trial values.
+    on_snapshot:
+        Parent-side callback ``(index, payload)`` invoked for every
+        interim snapshot a running trial ships via
+        :func:`repro.fleet.channel.fleet_publish` — the live-telemetry
+        channel ``repro.telemetry``'s campaign daemon exports from.
+        Snapshots arrive in per-trial publish order; across trials the
+        interleaving follows completion timing, so listeners should
+        treat payloads as *latest cumulative state per index* (exactly
+        what the merge law needs).  The callback runs on the scheduling
+        thread; exceptions it raises are contained and disable further
+        delivery rather than aborting the sweep.
     """
     if n < 0:
         raise FleetError(f"trial count must be >= 0, got {n}")
@@ -195,15 +209,16 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
     if collect_metrics:
         trial = MetricsCollectingTrial(trial)
     trace_indices = frozenset(range(min(max(sample_traces, 0), n)))
+    listener = _SnapshotListener(on_snapshot)
     started = time.perf_counter()
     if workers <= 1 or n <= 1:
         per_index, failures, traces, metrics, lineages = _run_serial(
-            n, trial, seed_base, timeout, retries, trace_indices)
+            n, trial, seed_base, timeout, retries, trace_indices, listener)
         workers = 1
     else:
         per_index, failures, traces, metrics, lineages = _run_parallel(
             n, trial, seed_base, min(workers, n), timeout, retries,
-            trace_indices)
+            trace_indices, listener)
     return CampaignResult(
         n=n, seed_base=seed_base, workers=workers,
         elapsed_s=time.perf_counter() - started,
@@ -214,11 +229,37 @@ def run_campaign(n: int, trial: Callable[[int], Any], *,
         lineages={seed_base + i: lns for i, lns in sorted(lineages.items())})
 
 
+class _SnapshotListener:
+    """Contained delivery of interim snapshots to ``on_snapshot``.
+
+    A listener that raises is switched off (with a one-line warning via
+    the failure kept on the instance) instead of killing the sweep —
+    telemetry export must never be able to abort a campaign.
+    """
+
+    def __init__(self, on_snapshot: Optional[Callable[[int, dict], None]]) -> None:
+        self.on_snapshot = on_snapshot
+        self.error: Optional[BaseException] = None
+
+    @property
+    def active(self) -> bool:
+        return self.on_snapshot is not None and self.error is None
+
+    def deliver(self, index: int, payload: dict) -> None:
+        if not self.active:
+            return
+        try:
+            self.on_snapshot(index, payload)  # type: ignore[misc]
+        except Exception as exc:
+            self.error = exc
+
+
 # ----------------------------------------------------------------------
 # serial fast path (workers=1): same semantics, no multiprocessing
 # ----------------------------------------------------------------------
 
-def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
+def _run_serial(n, trial, seed_base, timeout, retries, trace_indices,
+                listener):
     per_index: Dict[int, Any] = {}
     failures: List[TrialFailure] = []
     traces: Dict[int, List[dict]] = {}
@@ -227,7 +268,9 @@ def _run_serial(n, trial, seed_base, timeout, retries, trace_indices):
     for index in range(n):
         for attempt in range(1, retries + 2):
             try:
-                outcome = run_one(trial, seed_base + index, timeout)
+                with publishing(lambda payload, _i=index:
+                                listener.deliver(_i, payload)):
+                    outcome = run_one(trial, seed_base + index, timeout)
             except _TrialTimeout:
                 kind, message = FAIL_TIMEOUT, f"trial exceeded its {timeout}s timeout"
             except Exception as exc:
@@ -268,7 +311,7 @@ class _Fleet:
     """Book-keeping for one parallel sweep."""
 
     def __init__(self, ctx, n, trial, seed_base, workers, timeout,
-                 retries, trace_indices):
+                 retries, trace_indices, listener):
         self.ctx = ctx
         self.n = n
         self.trial = trial
@@ -276,6 +319,7 @@ class _Fleet:
         self.timeout = timeout
         self.retries = retries
         self.trace_indices = trace_indices
+        self.listener = listener
         # Tasks ride an mp.Queue (buffered: the parent can enqueue the whole
         # sweep up-front without blocking).  Results ride a SimpleQueue:
         # its put() writes to the pipe synchronously in the worker, so a
@@ -411,6 +455,9 @@ class _Fleet:
         if kind == "start":
             if worker_id in self.procs:
                 self.in_flight[worker_id] = (index, self._deadline())
+        elif kind == "snap":
+            if index not in self.resolved:  # drop stale retry-race snapshots
+                self.listener.deliver(index, a)
         elif kind == "ok":
             self.in_flight.pop(worker_id, None)
             self._record_success(index, a, b)
@@ -474,7 +521,7 @@ class _Fleet:
 
 
 def _run_parallel(n, trial, seed_base, workers, timeout, retries,
-                  trace_indices):
+                  trace_indices, listener):
     fleet = _Fleet(_fleet_context(), n, trial, seed_base, workers, timeout,
-                   retries, trace_indices)
+                   retries, trace_indices, listener)
     return fleet.run()

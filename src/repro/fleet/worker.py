@@ -10,9 +10,16 @@ respawned at any moment without losing campaign state.
 Wire protocol (all messages are 5-tuples on the result queue)::
 
     ("start", worker_id, index, None, None)        # about to run index
+    ("snap",  worker_id, index, payload, None)     # interim fleet_publish
     ("ok",    worker_id, index, value, extra)      # extra: dict | None
     ("fail",  worker_id, index, kind, message)     # kind: "error" | "timeout"
     ("bye",   worker_id, None,  None, None)        # clean shutdown
+
+``"snap"`` messages are emitted whenever the running trial calls
+:func:`repro.fleet.channel.fleet_publish`; the parent forwards each to
+the campaign's ``on_snapshot`` callback.  They may appear any number of
+times (including zero) between a ``"start"`` and its matching
+``"ok"``/``"fail"``.
 
 ``extra`` on an ``"ok"`` message is ``None`` or a dict with optional
 keys ``"trace"`` (serialized trace records for sampled seeds),
@@ -32,6 +39,7 @@ import signal
 from dataclasses import dataclass
 from typing import Any, Callable, FrozenSet, Optional
 
+from repro.fleet.channel import publishing
 from repro.fleet.errors import FAIL_ERROR, FAIL_TIMEOUT
 from repro.obs.lineage import recording
 from repro.obs.runtime import collecting
@@ -152,8 +160,13 @@ def worker_main(worker_id: int, trial: Callable[[int], Any], seed_base: int,
             result_queue.put(("bye", worker_id, None, None, None))
             return
         result_queue.put(("start", worker_id, index, None, None))
+
+        def ship_snapshot(payload: dict, _index: int = index) -> None:
+            result_queue.put(("snap", worker_id, _index, payload, None))
+
         try:
-            outcome = run_one(trial, seed_base + index, timeout)
+            with publishing(ship_snapshot):
+                outcome = run_one(trial, seed_base + index, timeout)
         except _TrialTimeout:
             result_queue.put(("fail", worker_id, index, FAIL_TIMEOUT,
                               f"trial exceeded its {timeout}s timeout"))

@@ -347,6 +347,13 @@ class VectorKernel:
         ports = self.medium.ports
         values = [self._pair_base_loss(tx, rx) for rx in ports]
         row = _np.asarray(values) if _np is not None else values
+        if id(tx) not in self._idx:
+            # The frame was in flight when its transmitter detached.
+            # Compute the geometry but never cache it: no on_detach will
+            # ever pop a row keyed by a detached port, and on_move /
+            # on_attach refresh columns via _port_of on the premise that
+            # every cached row's transmitter is attached.
+            return row
         if len(self._pl_rows) >= _MAX_ROWS:
             self._pl_rows.pop(next(iter(self._pl_rows)))
         self._pl_rows[id(tx)] = row
@@ -423,6 +430,11 @@ class VectorKernel:
                 if rssi >= audible:
                     targets.append((rx, rx.on_receive, rssi, success(rssi)))
         plan = _TxPlan(self._version, power, tx.channel, targets)
+        if id(tx) not in self._idx:
+            # Detached mid-flight (see _row): a plan keyed by a freed
+            # port's id could be inherited by whatever object recycles
+            # the address, so serve it without caching.
+            return plan
         if len(self._plans) >= _MAX_PLANS:
             self._plans.pop(next(iter(self._plans)))
         self._plans[id(tx)] = plan

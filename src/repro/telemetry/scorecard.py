@@ -1,0 +1,139 @@
+"""Latency / detection scorecards over a merged campaign registry.
+
+A running ``serve`` campaign answers three operator questions: *how fast
+are user sessions under this load*, *how hard is the WIDS firing*, and
+*how long did the rogue survive before detection*.
+:class:`LatencyScorecard` computes all three from any
+:class:`~repro.obs.metrics.MetricsRegistry` — a live merged view, a
+``CampaignResult.merged_metrics``, or a JSON-lines :func:`replay
+<repro.telemetry.stream.replay>` — using only mergeable state, so the
+scorecard of a merged registry is the scorecard of the campaign.
+
+* ``p50/p95/p99`` come from the shared session-latency histogram via
+  :meth:`HistogramMetric.quantile` (grouped-data interpolation, exact
+  to bin resolution);
+* ``alerts_per_s`` divides the merged alert counter by the campaign's
+  simulated duration (a gauge every shard sets identically);
+* ``time_to_detect_s`` is the *minimum* over shards of the first-alert
+  gauge — min survives the gauge merge law, so the merged value is the
+  earliest detection anywhere in the fleet.
+
+:meth:`install` writes the scorecard back into a registry as
+``telemetry.scorecard.*`` gauges, which is how the daemon publishes
+live percentiles on ``/metrics`` without teaching Prometheus any
+quantile math.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.report import format_kv
+from repro.obs.metrics import HistogramMetric, MetricsRegistry
+from repro.telemetry.sessions import LATENCY_METRIC
+
+__all__ = ["LatencyScorecard"]
+
+_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def _nan_to_none(x: float) -> Optional[float]:
+    return None if x != x else x
+
+
+@dataclass
+class LatencyScorecard:
+    """Point-in-time campaign health summary (all fields mergeable-safe)."""
+
+    sessions_arrived: int
+    sessions_completed: int
+    sessions_failed: int
+    sessions_shed: int
+    sessions_compromised: int
+    p50_latency_s: Optional[float]
+    p95_latency_s: Optional[float]
+    p99_latency_s: Optional[float]
+    alerts_total: int
+    alerts_per_s: Optional[float]
+    time_to_detect_s: Optional[float]
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "LatencyScorecard":
+        histogram = registry.get(LATENCY_METRIC)
+        if isinstance(histogram, HistogramMetric) and histogram.total:
+            p50, p95, p99 = (_nan_to_none(histogram.quantile(q))
+                             for q in _QUANTILES)
+        else:
+            p50 = p95 = p99 = None
+        alerts = registry.value("telemetry.alerts.emitted")
+        duration = registry.get("telemetry.campaign.duration_s")
+        alerts_per_s = None
+        if duration is not None and duration.updates and duration.value:
+            alerts_per_s = alerts / float(duration.value)
+        first_alert = registry.get("telemetry.alerts.first_t_s")
+        time_to_detect = None
+        if first_alert is not None and first_alert.updates:
+            # Merged min = earliest first-alert across all shards.
+            time_to_detect = (first_alert.min
+                              if math.isfinite(first_alert.min) else None)
+        return cls(
+            sessions_arrived=registry.value("telemetry.sessions.arrived"),
+            sessions_completed=registry.value("telemetry.sessions.completed"),
+            sessions_failed=registry.value("telemetry.sessions.failed"),
+            sessions_shed=registry.value("telemetry.sessions.shed"),
+            sessions_compromised=registry.value(
+                "telemetry.sessions.compromised"),
+            p50_latency_s=p50,
+            p95_latency_s=p95,
+            p99_latency_s=p99,
+            alerts_total=alerts,
+            alerts_per_s=alerts_per_s,
+            time_to_detect_s=time_to_detect,
+        )
+
+    def to_json_dict(self) -> dict:
+        """JSON-clean form, stable key order (dataclass field order)."""
+        return {
+            "sessions_arrived": self.sessions_arrived,
+            "sessions_completed": self.sessions_completed,
+            "sessions_failed": self.sessions_failed,
+            "sessions_shed": self.sessions_shed,
+            "sessions_compromised": self.sessions_compromised,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "alerts_total": self.alerts_total,
+            "alerts_per_s": self.alerts_per_s,
+            "time_to_detect_s": self.time_to_detect_s,
+        }
+
+    def install(self, registry: MetricsRegistry) -> None:
+        """Write the scorecard into ``registry`` as live gauges.
+
+        Applied by the exporter to the *merged view* only, never to a
+        shard's own registry — derived gauges must not feed back into
+        the merge or they would double-derive.
+        """
+        for key, value in self.to_json_dict().items():
+            if value is not None:
+                registry.set_gauge(f"telemetry.scorecard.{key}", value)
+
+    def report(self) -> str:
+        """Human-readable block for the end-of-campaign console report."""
+        def fmt(x: Optional[float]) -> str:
+            return "n/a" if x is None else f"{x:.3f}"
+        return format_kv("campaign scorecard", [
+            ("sessions arrived", self.sessions_arrived),
+            ("sessions completed", self.sessions_completed),
+            ("sessions failed", self.sessions_failed),
+            ("sessions shed", self.sessions_shed),
+            ("sessions compromised", self.sessions_compromised),
+            ("p50 latency (s)", fmt(self.p50_latency_s)),
+            ("p95 latency (s)", fmt(self.p95_latency_s)),
+            ("p99 latency (s)", fmt(self.p99_latency_s)),
+            ("alerts", self.alerts_total),
+            ("alerts / sim-s", fmt(self.alerts_per_s)),
+            ("time to detect (s)", fmt(self.time_to_detect_s)),
+        ])

@@ -169,3 +169,41 @@ def test_wired_census_catches_uninventoried_device():
     scenario.sim.run_for(2.0)
     unknown = wired_side_census(scenario.lan, [scenario.ap.bssid])
     assert victim.wlan.mac in unknown
+
+
+# ----------------------------------------------------------------------
+# the repro.defense.detection shim (moved to repro.wids in PR 4)
+# ----------------------------------------------------------------------
+
+def test_shim_import_warns_with_deprecation():
+    # Module caching suppresses repeat warnings, so force a fresh import.
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.defense.detection", None)
+    with pytest.warns(DeprecationWarning,
+                      match="repro.defense.detection is deprecated"):
+        module = importlib.import_module("repro.defense.detection")
+    # the shim still re-exports the moved names
+    from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict
+    assert module.SeqCtlMonitor is SeqCtlMonitor
+    assert module.SpoofVerdict is SpoofVerdict
+
+
+def test_shim_warning_attributed_to_importer_via_stacklevel():
+    # stacklevel=2 walks out of the shim (and the importlib bootstrap
+    # frames the warnings machinery skips), so the warning points at the
+    # file whose ``import`` statement pulled the shim in — this file —
+    # not at the shim itself.
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.defense.detection", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.defense.detection  # noqa: F401
+    shim_warnings = [w for w in caught
+                     if issubclass(w.category, DeprecationWarning)
+                     and "repro.defense.detection" in str(w.message)]
+    assert len(shim_warnings) == 1
+    assert shim_warnings[0].filename == __file__

@@ -315,3 +315,148 @@ def test_empty_campaign():
     assert result.ok == 0
     assert result.failures == []
     assert result.stats.n == 0
+
+
+# ----------------------------------------------------------------------
+# interim snapshot channel (fleet_publish -> on_snapshot)
+# ----------------------------------------------------------------------
+
+def publishing_trial(seed):
+    """Publishes three cumulative snapshots through the ambient channel."""
+    from repro.fleet import fleet_publish
+    from repro.obs.runtime import obs_metrics
+
+    m = obs_metrics()
+    for step in range(3):
+        if m is not None:
+            m.incr("fleet.test.progress")
+        fleet_publish({"seed": seed, "step": step,
+                       "metrics": m.snapshot() if m is not None else {}})
+    return float(seed)
+
+
+def test_fleet_publish_is_noop_without_publisher():
+    # Direct call, no campaign: publishing must be invisible.
+    assert publishing_trial(7) == 7.0
+
+
+def test_publishing_context_nests_and_restores():
+    from repro.fleet import fleet_publish, publishing
+
+    outer, inner = [], []
+    with publishing(outer.append):
+        fleet_publish({"at": "outer"})
+        with publishing(inner.append):
+            fleet_publish({"at": "inner"})
+        fleet_publish({"at": "outer-again"})
+    fleet_publish({"at": "nowhere"})
+    assert [p["at"] for p in outer] == ["outer", "outer-again"]
+    assert [p["at"] for p in inner] == ["inner"]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_on_snapshot_delivers_per_trial_publish_order(workers):
+    seen = []
+    result = run_campaign(3, publishing_trial, workers=workers,
+                          on_snapshot=lambda i, p: seen.append((i, p)))
+    assert result.stats.values == [1000.0, 1001.0, 1002.0]
+    by_index = {}
+    for index, payload in seen:
+        by_index.setdefault(index, []).append(payload)
+    assert sorted(by_index) == [0, 1, 2]
+    for index, payloads in by_index.items():
+        assert [p["step"] for p in payloads] == [0, 1, 2]  # per-trial order
+        assert all(p["seed"] == 1000 + index for p in payloads)
+
+
+def test_on_snapshot_composes_with_collect_metrics():
+    last = {}
+    result = run_campaign(
+        2, publishing_trial, workers=1, collect_metrics=True,
+        on_snapshot=lambda i, p: last.__setitem__(i, p))
+    for index in (0, 1):
+        # the trial's published registry view is live and cumulative
+        assert last[index]["metrics"]["fleet.test.progress"]["value"] == 3
+        assert result.metrics[1000 + index]["fleet.test.progress"]["value"] == 3
+    # shipping snapshots never changes results
+    assert result.stats.values == [1000.0, 1001.0]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_raising_listener_contained_not_fatal(workers):
+    calls = []
+
+    def bad_listener(index, payload):
+        calls.append(index)
+        raise RuntimeError("listener broke")
+
+    result = run_campaign(3, publishing_trial, workers=workers,
+                          on_snapshot=bad_listener)
+    assert result.stats.values == [1000.0, 1001.0, 1002.0]  # sweep survived
+    assert len(calls) == 1  # switched off after the first failure
+
+
+def test_snapshots_without_listener_are_discarded():
+    result = run_campaign(2, publishing_trial, workers=2)
+    assert result.stats.values == [1000.0, 1001.0]
+
+
+# ----------------------------------------------------------------------
+# CampaignResult.to_json_dict round-trip
+# ----------------------------------------------------------------------
+
+def rich_trial(seed):
+    """Metrics + trace in one trial, for payload round-trips."""
+    from repro.obs.runtime import obs_metrics
+
+    m = obs_metrics()
+    if m is not None:
+        m.incr("fleet.test.calls")
+        m.observe("fleet.test.hist", float(seed % 7), lo=0.0, hi=8.0, bins=4)
+    trace = Trace()
+    trace.emit("fleet.test", "trial", seed=seed)
+    return TrialOutcome(value=float(seed), trace=trace)
+
+
+def test_to_json_dict_round_trips_through_json():
+    import json as _json
+
+    result = run_campaign(3, rich_trial, workers=2, sample_traces=2,
+                          collect_metrics=True, flight_recorder=4)
+    doc = result.to_json_dict()
+    # the document survives an encode/decode cycle unchanged
+    rehydrated = _json.loads(_json.dumps(doc))
+    assert rehydrated == _json.loads(_json.dumps(doc))
+    assert doc["trials"] == 3 and doc["ok"] == 3
+    assert [r["seed"] for r in doc["results"]] == [1000, 1001, 1002]
+    assert sorted(doc["traces"]) == ["1000", "1001"]
+    # merged metrics payload: counters add across the three seeds
+    assert doc["metrics"]["fleet.test.calls"]["value"] == 3
+    from repro.obs.metrics import MetricsRegistry
+    merged = MetricsRegistry.from_snapshot(doc["metrics"])
+    assert merged.get("fleet.test.hist").total == 3
+
+
+def test_to_json_dict_is_seed_order_stable_across_worker_counts():
+    import json as _json
+
+    docs = []
+    for workers in (1, 2, 3):
+        result = run_campaign(4, rich_trial, workers=workers,
+                              sample_traces=1, collect_metrics=True)
+        doc = result.to_json_dict()
+        doc.pop("elapsed_s")          # wall clock varies
+        doc.pop("workers")            # the knob under test
+        docs.append(_json.dumps(doc, sort_keys=True))
+    assert docs[0] == docs[1] == docs[2]
+
+
+def test_to_json_dict_lineages_payload():
+    result = run_campaign(2, lineage_trial, workers=1, flight_recorder=8)
+    doc = result.to_json_dict()
+    assert doc["lineages"], "flight recorder shipped nothing"
+    seeds = {ln["seed"] for ln in doc["lineages"]}
+    assert seeds == {1000, 1001}
+    # seed annotation + seed-order concatenation
+    assert [ln["seed"] for ln in doc["lineages"]] \
+        == sorted(ln["seed"] for ln in doc["lineages"])

@@ -189,3 +189,49 @@ def test_receiver_move_invalidates_delivery_plans_too():
     sim.run()
     assert got.rssi[0] == tx.tx_power_dbm - medium.path_loss.path_loss_db(5.0, None)
     assert got.rssi[1] == tx.tx_power_dbm - medium.path_loss.path_loss_db(25.0, None)
+
+
+def test_detach_mid_flight_leaves_no_stale_row():
+    """A transmitter that detaches while its frame is still in the air
+    must not leave a cached row or plan behind: the fan-out computes
+    its geometry uncached, because nothing would ever evict a row keyed
+    by a detached port and on_move/on_attach refresh columns on the
+    premise that every cached transmitter is attached."""
+    sim = Simulator(seed=7)
+    medium = Medium(sim, path_loss=LogDistancePathLoss(shadowing_sigma_db=0.0),
+                    kernel="vector")
+    tx = RadioPort("tx", Position(0.0, 0.0), 1, tx_power_dbm=5.0)
+    rx = RadioPort("rx", Position(0.0, 0.0), 1, tx_power_dbm=5.0)
+    heard = _Recorder(rx)
+    medium.attach(tx)
+    medium.attach(rx)
+    beacon = make_beacon(AP, "CACHE", 1)
+    sim.schedule_at(0.001, lambda: tx.transmit(beacon))
+    sim.schedule_at(0.001 + 1e-5, lambda: medium.detach(tx))  # mid-flight
+    # The regression: this move used to raise KeyError in _port_of while
+    # refreshing the detached transmitter's orphaned row.
+    sim.schedule_at(0.01, lambda: rx.move_to(Position(1.0, 2.0)))
+    sim.run()
+    assert heard.rssi  # the in-flight frame still delivered
+    kernel = medium.kernel
+    assert all(pid in kernel._idx for pid in kernel._pl_rows)
+    assert all(pid in kernel._idx for pid in kernel._plans)
+
+
+def test_detach_mid_flight_delivery_matches_scalar_kernel():
+    """The uncached fan-out for a detached transmitter is bit-identical
+    to the scalar reference."""
+    def run(kernel):
+        sim = Simulator(seed=11)
+        medium = Medium(sim, kernel=kernel)
+        tx = RadioPort("tx", Position(0.0, 0.0), 1, tx_power_dbm=5.0)
+        rx = RadioPort("rx", Position(4.0, 3.0), 1, tx_power_dbm=5.0)
+        heard = _Recorder(rx)
+        medium.attach(tx)
+        medium.attach(rx)
+        beacon = make_beacon(AP, "CACHE", 1)
+        sim.schedule_at(0.001, lambda: tx.transmit(beacon))
+        sim.schedule_at(0.001 + 1e-5, lambda: medium.detach(tx))
+        sim.run()
+        return heard.rssi
+    assert run("vector") == run("scalar")

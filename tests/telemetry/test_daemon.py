@@ -1,0 +1,185 @@
+"""Daemon end-to-end: live scrape, stream replay, determinism goldens."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fleet import run_campaign
+from repro.obs import collecting
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry import (CampaignDaemon, LiveStore, OpenLoopShard,
+                             clear_stop, parse_exposition, replay,
+                             request_stop)
+from repro.telemetry.scorecard import LatencyScorecard
+from repro.telemetry.stream import read_records
+
+SHARD = dict(duration_s=2.0, rate_per_s=8.0, snapshot_every_s=0.5)
+
+
+@pytest.fixture(autouse=True)
+def _clean_stop_flag():
+    clear_stop()
+    yield
+    clear_stop()
+
+
+def _get(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# determinism goldens: the exporter must not touch the simulation
+# ----------------------------------------------------------------------
+
+def test_golden_exporter_on_off_bit_identical():
+    shard = OpenLoopShard(**SHARD)
+    with collecting() as col:
+        bare_summary = shard(seed=1000)
+    bare_metrics = col.snapshot()
+    seen = []
+    result = run_campaign(1, shard, seed_base=1000, collect_metrics=True,
+                          on_snapshot=lambda i, snap: seen.append(snap))
+    assert result.per_index[0] == bare_summary
+    assert result.metrics[1000] == bare_metrics
+    assert len(seen) > 1
+    # cumulative snapshots: the last published == the trial's own final
+    assert seen[-1] == bare_metrics
+
+
+def test_golden_scorecard_deterministic_for_fixed_seed():
+    def once():
+        daemon = CampaignDaemon(shards=2, shard=OpenLoopShard(**SHARD))
+        result, card = daemon.run(install_signal_handlers=False)
+        return result, card
+    r1, c1 = once()
+    r2, c2 = once()
+    assert c1.to_json_dict() == c2.to_json_dict()
+    assert r1.merged_metrics.snapshot() == r2.merged_metrics.snapshot()
+    assert [r1.per_index[i] for i in sorted(r1.per_index)] \
+        == [r2.per_index[i] for i in sorted(r2.per_index)]
+
+
+def test_golden_serial_equals_parallel():
+    shard = OpenLoopShard(**SHARD)
+    serial = CampaignDaemon(shards=2, shard=shard, workers=1)
+    parallel = CampaignDaemon(shards=2, shard=shard, workers=2)
+    rs, cs = serial.run(install_signal_handlers=False)
+    rp, cp = parallel.run(install_signal_handlers=False)
+    assert cs.to_json_dict() == cp.to_json_dict()
+    assert rs.merged_metrics.snapshot() == rp.merged_metrics.snapshot()
+    assert parallel.snapshots_seen > 0  # the queue channel carried snaps
+
+
+# ----------------------------------------------------------------------
+# live export
+# ----------------------------------------------------------------------
+
+def test_daemon_serves_metrics_and_jsonl(tmp_path):
+    jsonl = str(tmp_path / "tele.jsonl")
+    daemon = CampaignDaemon(shards=2, shard=OpenLoopShard(**SHARD),
+                            jsonl_path=jsonl, linger_s=120.0)
+    scraped: dict = {}
+
+    def scrape_then_stop(url: str) -> None:
+        # Poll /metrics until the campaign has completed sessions (the
+        # linger window keeps the exporter up), then release the daemon.
+        try:
+            scraped["health"] = _get(url + "/healthz")
+            deadline = time.monotonic() + 110
+            while time.monotonic() < deadline:
+                text = _get(url + "/metrics")
+                families = parse_exposition(text)  # every scrape is valid
+                done = families.get(
+                    "repro_telemetry_sessions_completed_total")
+                if done and done["samples"][0][2] > 0:
+                    scraped["metrics"] = text
+                    break
+                time.sleep(0.1)
+            try:
+                _get(url + "/nope")
+            except urllib.error.HTTPError as exc:
+                scraped["not_found"] = exc.code
+        finally:
+            request_stop()
+
+    threads = []
+
+    def ready(d: CampaignDaemon) -> None:
+        thread = threading.Thread(
+            target=scrape_then_stop, args=(f"http://127.0.0.1:{d.port}",),
+            daemon=True)
+        thread.start()
+        threads.append(thread)
+
+    result, card = daemon.run(install_signal_handlers=False, on_ready=ready)
+    threads[0].join(timeout=30)
+
+    assert scraped["health"] == "ok\n"
+    assert scraped["not_found"] == 404
+    families = parse_exposition(scraped["metrics"])
+    totals = families["repro_telemetry_sessions_completed_total"]["samples"]
+    assert totals[0][2] > 0
+    # derived scorecard gauges are live on the endpoint
+    assert "repro_telemetry_scorecard_p50_latency_s" in families
+
+    # the JSON-lines stream replays to the in-process merged registry
+    records = list(read_records(jsonl))
+    assert records[0]["kind"] == "meta"
+    assert records[-1]["kind"] == "final"
+    assert replay(jsonl).snapshot() == result.merged_metrics.snapshot()
+    assert records[-1]["metrics"] == result.merged_metrics.snapshot()
+    assert records[-1]["scorecard"] == card.to_json_dict()
+    json.dumps(records[-1])  # JSON-clean end to end
+
+
+def test_ephemeral_port_allocation():
+    daemon = CampaignDaemon(
+        shards=1, shard=OpenLoopShard(duration_s=1.0, rate_per_s=4.0))
+    ports = {}
+    daemon.run(install_signal_handlers=False,
+               on_ready=lambda d: ports.setdefault("port", d.port))
+    assert ports["port"] > 0
+
+
+def test_live_store_merges_in_seed_order():
+    store = LiveStore()
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.set_gauge("g", 1.0)
+    b.set_gauge("g", 2.0)
+    # updates arrive out of seed order; merge must still be seed-ordered
+    store.update(1, 1001, b.snapshot())
+    store.update(0, 1000, a.snapshot())
+    assert store.merged().get("g").value == 2.0  # seed 1001 is later
+    store.update(0, 1000, a.snapshot())          # refresh changes nothing
+    assert store.merged().get("g").value == 2.0
+    assert len(store) == 2
+
+
+# ----------------------------------------------------------------------
+# graceful stop
+# ----------------------------------------------------------------------
+
+def test_stop_flag_drains_in_process_campaign():
+    shard = OpenLoopShard(duration_s=3600.0, rate_per_s=8.0,
+                          snapshot_every_s=0.5)
+    calls = []
+
+    def deliver(index, snapshot):
+        calls.append(index)
+        if len(calls) == 3:
+            request_stop()
+
+    result = run_campaign(1, shard, seed_base=1000, collect_metrics=True,
+                          on_snapshot=deliver)
+    summary = result.per_index[0]
+    assert summary["stopped_early"] is True
+    assert summary["active"] == 0  # drained, not truncated
+    card = LatencyScorecard.from_registry(result.merged_metrics)
+    assert card.sessions_completed == summary["completed"]

@@ -1,0 +1,119 @@
+"""Text-exposition rendering: naming rules, format grammar, histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.prometheus import (metric_family_name, parse_exposition,
+                                        render_exposition)
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.incr("telemetry.sessions.completed", 42)
+    reg.set_gauge("telemetry.sessions.active", 3)
+    reg.gauge("telemetry.never.set")  # stays unset -> omitted
+    reg.add_time("telemetry.session.duration", 0.5)
+    reg.add_time("telemetry.session.duration", 1.5)
+    for x in (0.5, 1.5, 2.5, -1.0, 99.0):  # one under, one over
+        reg.observe("telemetry.session.latency_s", x, lo=0.0, hi=4.0, bins=4)
+    return reg
+
+
+def test_family_naming_rules():
+    assert metric_family_name("telemetry.sessions.completed", "counter") \
+        == "repro_telemetry_sessions_completed_total"
+    assert metric_family_name("a.b-c d", "gauge") == "repro_a_b_c_d"
+    assert metric_family_name("x", "timer") == "repro_x_seconds"
+
+
+def test_render_is_valid_and_deterministic():
+    text = render_exposition(_registry())
+    assert text == render_exposition(_registry())
+    families = parse_exposition(text)
+    assert families["repro_telemetry_sessions_completed_total"]["type"] \
+        == "counter"
+    assert families["repro_telemetry_sessions_active"]["type"] == "gauge"
+    assert families["repro_telemetry_session_duration_seconds"]["type"] \
+        == "summary"
+    assert families["repro_telemetry_session_latency_s"]["type"] == "histogram"
+    assert "repro_telemetry_never_set" not in families
+
+
+def test_counter_and_gauge_values():
+    families = parse_exposition(render_exposition(_registry()))
+    (name, labels, value), = \
+        families["repro_telemetry_sessions_completed_total"]["samples"]
+    assert (labels, value) == ({}, 42.0)
+    (_, _, active), = families["repro_telemetry_sessions_active"]["samples"]
+    assert active == 3.0
+
+
+def test_histogram_buckets_cumulative_with_underflow_and_inf():
+    families = parse_exposition(render_exposition(_registry()))
+    samples = families["repro_telemetry_session_latency_s"]["samples"]
+    buckets = {labels["le"]: value for name, labels, value in samples
+               if name.endswith("_bucket")}
+    # underflow (-1.0) is <= every finite edge, so it folds in everywhere
+    assert buckets["1"] == 2.0      # underflow + 0.5
+    assert buckets["2"] == 3.0      # + 1.5
+    assert buckets["3"] == 4.0      # + 2.5
+    assert buckets["4"] == 4.0
+    assert buckets["+Inf"] == 5.0   # + overflow (99.0)
+    count = [v for n, _l, v in samples if n.endswith("_count")][0]
+    assert count == 5.0
+
+
+def test_summary_sum_and_count():
+    families = parse_exposition(render_exposition(_registry()))
+    samples = {name: value for name, _l, value in
+               families["repro_telemetry_session_duration_seconds"]["samples"]}
+    assert samples["repro_telemetry_session_duration_seconds_sum"] == 2.0
+    assert samples["repro_telemetry_session_duration_seconds_count"] == 2.0
+
+
+def test_render_accepts_snapshot_dict():
+    reg = _registry()
+    assert render_exposition(reg.snapshot()) == render_exposition(reg)
+
+
+def test_empty_registry_renders_empty():
+    assert render_exposition(MetricsRegistry()) == ""
+    assert parse_exposition("") == {}
+
+
+@pytest.mark.parametrize("bad", [
+    "repro_x 1",                          # sample with no TYPE
+    "# TYPE repro_x counter\nrepro_x nope",   # unparseable value
+    "# TYPE repro_x wat\nrepro_x 1",      # unknown type
+    "# TYPE repro_x counter\nrepro_x -1",  # negative counter
+    "# TYPE repro_x counter\n\nrepro_x 1",  # blank line inside
+])
+def test_parser_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_exposition(bad)
+
+
+def test_parser_rejects_non_cumulative_histogram():
+    bad = "\n".join([
+        "# TYPE repro_h histogram",
+        'repro_h_bucket{le="1"} 5',
+        'repro_h_bucket{le="2"} 3',
+        'repro_h_bucket{le="+Inf"} 5',
+        "repro_h_sum 1",
+        "repro_h_count 5",
+    ])
+    with pytest.raises(ValueError, match="non-cumulative"):
+        parse_exposition(bad)
+
+
+def test_parser_rejects_missing_inf_bucket():
+    bad = "\n".join([
+        "# TYPE repro_h histogram",
+        'repro_h_bucket{le="1"} 5',
+        "repro_h_sum 1",
+        "repro_h_count 5",
+    ])
+    with pytest.raises(ValueError, match=r"\+Inf"):
+        parse_exposition(bad)

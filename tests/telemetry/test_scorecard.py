@@ -1,0 +1,92 @@
+"""Latency scorecards: quantiles, merge-safety, derived gauges."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.scorecard import LatencyScorecard
+from repro.telemetry.sessions import (LATENCY_BINS, LATENCY_HI_S,
+                                      LATENCY_METRIC)
+
+
+def _registry(latencies, *, alerts: int = 0, duration: float = 10.0,
+              first_alert: float = None) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for x in latencies:
+        reg.observe(LATENCY_METRIC, x, lo=0.0, hi=LATENCY_HI_S,
+                    bins=LATENCY_BINS)
+    reg.incr("telemetry.sessions.arrived", len(latencies))
+    reg.incr("telemetry.sessions.completed", len(latencies))
+    if alerts:
+        reg.incr("telemetry.alerts.emitted", alerts)
+    reg.set_gauge("telemetry.campaign.duration_s", duration)
+    if first_alert is not None:
+        reg.set_gauge("telemetry.alerts.first_t_s", first_alert)
+    return reg
+
+
+def test_quantiles_ordered_and_rates_computed():
+    card = LatencyScorecard.from_registry(
+        _registry([0.1 * i for i in range(1, 101)], alerts=5, duration=10.0,
+                  first_alert=2.5))
+    assert card.sessions_completed == 100
+    assert card.p50_latency_s <= card.p95_latency_s <= card.p99_latency_s
+    assert abs(card.p50_latency_s - 5.0) < 0.3
+    assert card.alerts_per_s == 0.5
+    assert card.time_to_detect_s == 2.5
+
+
+def test_empty_registry_yields_none_fields():
+    card = LatencyScorecard.from_registry(MetricsRegistry())
+    assert card.sessions_completed == 0
+    assert card.p50_latency_s is None
+    assert card.alerts_per_s is None
+    assert card.time_to_detect_s is None
+    json.dumps(card.to_json_dict())  # JSON-clean even when empty
+
+
+def test_scorecard_of_merge_is_scorecard_of_campaign():
+    # The scorecard must be derivable from merged state alone: computing
+    # it on a merged registry equals computing it on the union registry.
+    a = _registry([1.0, 2.0], alerts=1, first_alert=4.0)
+    b = _registry([3.0, 4.0], alerts=2, first_alert=3.0)
+    union = _registry([1.0, 2.0, 3.0, 4.0], alerts=3, first_alert=3.0)
+    merged = MetricsRegistry()
+    merged.merge(a).merge(b)
+    assert LatencyScorecard.from_registry(merged).to_json_dict() \
+        == LatencyScorecard.from_registry(union).to_json_dict()
+
+
+def test_time_to_detect_takes_earliest_shard_via_gauge_min():
+    late = _registry([1.0], alerts=1, first_alert=9.0)
+    early = _registry([1.0], alerts=1, first_alert=1.5)
+    merged = MetricsRegistry()
+    merged.merge(late).merge(early)
+    # last-write-wins would say 1.5 here; order the merge the other way
+    # to prove it is the *min*, not the last value, that is reported
+    merged2 = MetricsRegistry()
+    merged2.merge(early).merge(late)
+    assert LatencyScorecard.from_registry(merged).time_to_detect_s == 1.5
+    assert LatencyScorecard.from_registry(merged2).time_to_detect_s == 1.5
+
+
+def test_install_writes_scorecard_gauges():
+    reg = _registry([1.0, 2.0, 3.0], alerts=2, first_alert=1.0)
+    card = LatencyScorecard.from_registry(reg)
+    card.install(reg)
+    assert reg.get("telemetry.scorecard.p50_latency_s").value \
+        == card.p50_latency_s
+    assert reg.get("telemetry.scorecard.sessions_completed").value == 3
+    # None fields stay uninstalled rather than becoming bogus zeros
+    empty = MetricsRegistry()
+    LatencyScorecard.from_registry(empty).install(empty)
+    assert empty.get("telemetry.scorecard.p50_latency_s") is None
+
+
+def test_report_renders_for_humans():
+    text = LatencyScorecard.from_registry(
+        _registry([1.0], alerts=1, first_alert=2.0)).report()
+    assert "p95 latency" in text and "time to detect" in text
+    empty = LatencyScorecard.from_registry(MetricsRegistry()).report()
+    assert "n/a" in empty
