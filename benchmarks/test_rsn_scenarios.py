@@ -1,0 +1,56 @@
+"""E-DOWNGRADE / E-CSA / E-PMF — the modern Wi-Fi scenario pack.
+
+Expected shape:
+
+* E-DOWNGRADE: the transition client negotiates SAE+PMF on the benign
+  arm, is coerced to WPA2-PSK / open by the rogue's weaker offer, and
+  the ``rsn-mismatch`` detector flags both lures with zero benign FPs;
+* E-CSA: forged CSA beacons herd the WPA3 victim onto the twin's
+  channel and its data link goes dark — ``unexpected-CSA`` flags it;
+* E-PMF: the §4 deauth flood bounces the client repeatedly with PMF
+  off and is cryptographically discarded with PMF on — the original
+  association and its traffic survive the entire flood.
+"""
+
+from conftest import record_rows, run_once
+
+from repro.rsn.experiment import exp_csa_lure, exp_downgrade, exp_pmf_flood
+
+
+def test_downgrade(benchmark):
+    result = run_once(benchmark, exp_downgrade, seed=1)
+    rows = result["scorecard"]["rows"]
+    record_rows("E-DOWNGRADE: transition-mode coercion scorecard",
+                rows, area="rsn")
+    assert result["benign_negotiates_sae"], result["worlds"]["benign"]
+    assert result["coerced_to_wpa2"], result["worlds"]["wpa2"]
+    assert result["coerced_to_open"], result["worlds"]["open"]
+    assert result["downgrade_flagged"]
+    assert result["benign_false_positives"] == 0
+    for row in rows:
+        assert row["fp"] == 0, row
+
+
+def test_csa_lure(benchmark):
+    result = run_once(benchmark, exp_csa_lure, seed=1)
+    rows = result["scorecard"]["rows"]
+    record_rows("E-CSA: channel-switch herding scorecard",
+                rows, area="rsn")
+    assert result["herded"], result["worlds"]["lured"]
+    assert result["link_dark_after_lure"], result["worlds"]["lured"]
+    assert result["csa_flagged"]
+    assert result["benign_false_positives"] == 0
+    for row in rows:
+        assert row["fp"] == 0, row
+
+
+def test_pmf_flood(benchmark):
+    result = run_once(benchmark, exp_pmf_flood, seed=1)
+    rows = result["scorecard"]["rows"]
+    record_rows("E-PMF: deauth flood with and without 802.11w",
+                rows, area="rsn")
+    assert result["flood_effective_without_pmf"], result["pmf_off"]
+    assert result["pmf_protects"], result["pmf_on"]
+    # The flood is loud either way; the WIDS sees it in both worlds.
+    for world in (result["pmf_off"], result["pmf_on"]):
+        assert "deauth-flood" in world["alerted_detectors"], world

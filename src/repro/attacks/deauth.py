@@ -43,6 +43,12 @@ class DeauthAttacker:
         analysis.  Turning this on makes the injector's radio a
         *receiver*, which (unlike pure observation) legitimately
         changes the simulated world.
+    reason:
+        The 802.11 reason code stamped into every forged frame.
+        Real tools let the operator pick one (aireplay-ng's ``-a``
+        deauths default to code 7); plausible codes matter because
+        some clients log them and some IDSes profile them.  Must be
+        in the valid range 1..65535 (0 is reserved).
     """
 
     def __init__(
@@ -57,11 +63,16 @@ class DeauthAttacker:
         rate_hz: float = 10.0,
         name: str = "deauth-attacker",
         mirror_seqctl: bool = False,
+        reason: int = ReasonCode.PREV_AUTH_EXPIRED,
     ) -> None:
         self.sim = sim
         self.ap_bssid = ap_bssid
         self.target = target
         self.rate_hz = rate_hz
+        reason = int(reason)
+        if not 1 <= reason <= 0xFFFF:
+            raise ValueError(f"802.11 reason code out of range: {reason}")
+        self.reason = reason
         self.port = RadioPort(name=name, position=position, channel=channel,
                               tx_power_dbm=18.0, promiscuous=mirror_seqctl)
         medium.attach(self.port)
@@ -97,7 +108,7 @@ class DeauthAttacker:
     def _inject(self) -> None:
         dest = self.target if self.target is not None else BROADCAST
         frame = make_deauth(self.ap_bssid, dest, self.ap_bssid,
-                            reason=ReasonCode.PREV_AUTH_EXPIRED,
+                            reason=self.reason,
                             seq=self.seqctl.next())
         self.port.transmit(frame)
         self.frames_injected += 1

@@ -225,6 +225,28 @@ def wire_encode_cached_speedup(scale: float = 1.0) -> BenchSample:
                                 "frame_bytes": len(frame.to_bytes())})
 
 
+@register("wire", "rsn_ie_roundtrips_per_s", unit="ops/s",
+          higher_is_better=True)
+def wire_rsn_ie_roundtrips(scale: float = 1.0) -> BenchSample:
+    """RSN IE pack → parse round-trips over the three standard postures."""
+    from repro.rsn.ie import RsnIe
+
+    rounds = _scaled(3_000, scale, 500)
+    postures = (RsnIe.wpa2(), RsnIe.wpa3(), RsnIe.wpa3_transition())
+    blobs = [ie.pack() for ie in postures]
+    crc = 0
+    for blob in blobs:
+        crc = zlib.crc32(blob, crc)
+    t0 = time.perf_counter()
+    for i in range(rounds):
+        posture = postures[i % 3]
+        parsed = RsnIe.parse(posture.pack())
+        assert parsed == posture
+    elapsed = time.perf_counter() - t0
+    return BenchSample(value=rounds / elapsed,
+                       payload={"rounds": rounds, "wire_crc32": crc})
+
+
 # --------------------------------------------------------------------------
 # netstack — zero-copy decode + in-place checksum patch
 # --------------------------------------------------------------------------
@@ -272,6 +294,35 @@ def crypto_rc4(scale: float = 1.0) -> BenchSample:
     return BenchSample(value=n / elapsed / 1e6,
                        payload={"bytes": n,
                                 "stream_crc32": zlib.crc32(bytes(stream))})
+
+
+@register("crypto", "sae_handshakes_per_s", unit="handshakes/s",
+          higher_is_better=True)
+def crypto_sae_handshakes(scale: float = 1.0) -> BenchSample:
+    """Full SAE commit/confirm handshakes over the real 1536-bit group."""
+    from repro.crypto.dh import DH_GROUP_1536
+    from repro.dot11.mac import MacAddress
+    from repro.rsn.sae import SaeParty
+    from repro.sim.rng import SimRandom
+
+    n = _scaled(8, scale, 2)
+    ap_mac = MacAddress("aa:bb:cc:dd:00:01")
+    sta_mac = MacAddress("aa:bb:cc:dd:00:02")
+    crc = 0
+    t0 = time.perf_counter()
+    for i in range(n):
+        ap = SaeParty("bench-password", ap_mac, sta_mac,
+                      SimRandom(2 * i), group=DH_GROUP_1536)
+        sta = SaeParty("bench-password", sta_mac, ap_mac,
+                       SimRandom(2 * i + 1), group=DH_GROUP_1536)
+        ap.process_commit(sta.commit_bytes())
+        sta.process_commit(ap.commit_bytes())
+        assert ap.process_confirm(sta.confirm_bytes())
+        assert sta.process_confirm(ap.confirm_bytes())
+        crc = zlib.crc32(ap.pmk, crc)
+    elapsed = time.perf_counter() - t0
+    return BenchSample(value=n / elapsed,
+                       payload={"handshakes": n, "pmk_crc32": crc})
 
 
 # --------------------------------------------------------------------------

@@ -12,6 +12,7 @@ from typing import Any, Callable
 
 from repro.core import experiments as E
 from repro.core.report import format_table
+from repro.rsn import experiment as R
 from repro.wids import experiment as W
 
 __all__ = ["EXPERIMENTS", "ExperimentSpec", "SeededExperiment",
@@ -82,6 +83,16 @@ EXPERIMENTS: list[ExperimentSpec] = [
     ExperimentSpec("E-WIDS", "Streaming WIDS detector evaluation",
                    "§2.3 + WIDS literature", W.exp_wids_eval,
                    "benchmarks/test_wids_eval.py"),
+    # Modern Wi-Fi scenario pack: the paper's rogue problem under RSN.
+    ExperimentSpec("E-DOWNGRADE", "WPA3-transition downgrade coercion",
+                   "§4 modernized (WPA3/RSN)", R.exp_downgrade,
+                   "benchmarks/test_rsn_scenarios.py"),
+    ExperimentSpec("E-CSA", "Channel-switch herding onto an evil twin",
+                   "§4 modernized (802.11 CSA)", R.exp_csa_lure,
+                   "benchmarks/test_rsn_scenarios.py"),
+    ExperimentSpec("E-PMF", "Deauth flood vs management-frame protection",
+                   "§4 modernized (802.11w)", R.exp_pmf_flood,
+                   "benchmarks/test_rsn_scenarios.py"),
 ]
 
 

@@ -57,6 +57,7 @@ __all__ = [
     "make_disassoc",
     "make_probe_request",
     "make_probe_response",
+    "reason_name",
 ]
 
 HEADER_LEN = 24
@@ -99,14 +100,54 @@ class FrameSubtype(enum.IntEnum):
 class AuthAlgorithm(enum.IntEnum):
     OPEN_SYSTEM = 0
     SHARED_KEY = 1
+    SAE = 3  # 802.11s/WPA3 simultaneous authentication of equals
 
 
 class ReasonCode(enum.IntEnum):
+    """Standard deauth/disassoc reason codes (802.11-2016 Table 9-45 subset).
+
+    Carrying the *standard* numbers matters operationally: a WIDS
+    operator reading a trace must be able to tell an AP's legitimate
+    inactivity kick (4) from an attacker's forged PREV_AUTH_EXPIRED
+    flood, and a PMF station logs INVALID_MDE-class rejections with the
+    802.11w numbers real gear would show.
+    """
+
     UNSPECIFIED = 1
     PREV_AUTH_EXPIRED = 2
     DEAUTH_LEAVING = 3
     INACTIVITY = 4
+    AP_OVERLOAD = 5
+    CLASS2_FROM_NONAUTH = 6
     CLASS3_FROM_NONASSOC = 7
+    DISASSOC_LEAVING = 8
+    ASSOC_WITHOUT_AUTH = 9
+    # 802.11i (RSN) range
+    INVALID_IE = 13
+    MIC_FAILURE = 14
+    FOURWAY_HANDSHAKE_TIMEOUT = 15
+    GROUP_KEY_HANDSHAKE_TIMEOUT = 16
+    IE_DIFFERENT_FROM_ASSOC = 17
+    INVALID_GROUP_CIPHER = 18
+    INVALID_PAIRWISE_CIPHER = 19
+    INVALID_AKMP = 20
+    UNSUPPORTED_RSN_VERSION = 21
+    INVALID_RSN_CAPABILITIES = 22
+    IEEE_8021X_AUTH_FAILED = 23
+    CIPHER_REJECTED_PER_POLICY = 24
+
+
+def reason_name(code: int) -> str:
+    """Human-readable label for a reason code; unknown codes stay numeric.
+
+    Validation helper for traces and WIDS alert payloads: known codes
+    render as their standard mnemonic, anything else (attacker-chosen
+    garbage included) as ``reason-<n>`` so it is still greppable.
+    """
+    try:
+        return ReasonCode(code).name
+    except ValueError:
+        return f"reason-{int(code)}"
 
 
 class StatusCode(enum.IntEnum):
@@ -331,6 +372,8 @@ class Dot11Frame:
         ies = parse_ies(self.body[12:])
         ssid = find_ie(ies, IeId.SSID)
         ds = find_ie(ies, IeId.DS_PARAMETER)
+        rsn = find_ie(ies, IeId.RSN)
+        csa = find_ie(ies, IeId.CHANNEL_SWITCH)
         return BeaconInfo(
             timestamp=timestamp,
             interval_tu=interval,
@@ -338,6 +381,8 @@ class Dot11Frame:
             ssid=ssid.data.decode("utf-8", "replace") if ssid else "",
             channel=ds.data[0] if ds and ds.data else 0,
             bssid=self.addr3,
+            rsn=rsn.data if rsn else None,
+            csa=csa.data if csa else None,
         )
 
     def parse_auth(self) -> tuple[int, int, int, Optional[bytes]]:
@@ -379,6 +424,16 @@ class Dot11Frame:
             raise ProtocolError("reason body too short")
         return struct.unpack("<H", self.body[:2])[0]
 
+    def parse_trailing_ies(self, offset: int) -> list:
+        """IEs after a management body's fixed-field prefix.
+
+        ``offset`` is the fixed-prefix length: 6 for auth, 4 for assoc
+        request, 2 for deauth/disassoc (where 802.11w's MME rides).
+        """
+        if len(self.body) < offset:
+            raise ProtocolError("management body shorter than fixed prefix")
+        return parse_ies(self.body[offset:])
+
 
 @dataclass(frozen=True)
 class BeaconInfo:
@@ -390,6 +445,11 @@ class BeaconInfo:
     ssid: str
     channel: int
     bssid: MacAddress
+    #: Raw RSN IE body when the network advertises one (WPA2/WPA3);
+    #: decoded on demand by ``repro.rsn`` (dot11 stays crypto-agnostic).
+    rsn: Optional[bytes] = None
+    #: Raw channel-switch-announcement IE body, when present.
+    csa: Optional[bytes] = None
 
     @property
     def privacy(self) -> bool:
@@ -410,16 +470,20 @@ def make_beacon(
     interval_tu: int = 100,
     timestamp: int = 0,
     seq: int = 0,
+    extra_ies: Optional[list[InformationElement]] = None,
 ) -> Dot11Frame:
     """A beacon frame, broadcast from the AP.
 
     Note what is *absent*: any authenticator of the network.  A rogue
     constructs a byte-identical beacon by copying these arguments.
+    ``extra_ies`` (RSN, CSA, vendor blobs) append after the seed IEs;
+    the default keeps the body byte-identical to the frozen goldens.
     """
     capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
-    body = struct.pack("<QHH", timestamp, interval_tu, capability) + pack_ies(
-        [ssid_ie(ssid), rates_ie(), ds_param_ie(channel)]
-    )
+    ies = [ssid_ie(ssid), rates_ie(), ds_param_ie(channel)]
+    if extra_ies:
+        ies.extend(extra_ies)
+    body = struct.pack("<QHH", timestamp, interval_tu, capability) + pack_ies(ies)
     return Dot11Frame(
         subtype=FrameSubtype.BEACON,
         addr1=BROADCAST,
@@ -452,11 +516,13 @@ def make_probe_response(
     privacy: bool = False,
     timestamp: int = 0,
     seq: int = 0,
+    extra_ies: Optional[list[InformationElement]] = None,
 ) -> Dot11Frame:
     capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
-    body = struct.pack("<QHH", timestamp, 100, capability) + pack_ies(
-        [ssid_ie(ssid), rates_ie(), ds_param_ie(channel)]
-    )
+    ies = [ssid_ie(ssid), rates_ie(), ds_param_ie(channel)]
+    if extra_ies:
+        ies.extend(extra_ies)
+    body = struct.pack("<QHH", timestamp, 100, capability) + pack_ies(ies)
     return Dot11Frame(
         subtype=FrameSubtype.PROBE_RESP,
         addr1=dest,
@@ -478,11 +544,22 @@ def make_auth(
     challenge: Optional[bytes] = None,
     protected: bool = False,
     seq: int = 0,
+    extra_ies: Optional[list[InformationElement]] = None,
 ) -> Dot11Frame:
-    """An authentication frame (open-system or shared-key transaction)."""
-    body = struct.pack("<HHH", algorithm, txn, status)
+    """An authentication frame (open-system, shared-key, or SAE).
+
+    SAE commit/confirm payloads travel in ``extra_ies`` (a vendor
+    container element); legacy parsers skip unknown elements, so the
+    pre-RSN code paths never see them.
+    """
+    ies: list[InformationElement] = []
     if challenge is not None:
-        body += pack_ies([challenge_ie(challenge)])
+        ies.append(challenge_ie(challenge))
+    if extra_ies:
+        ies.extend(extra_ies)
+    body = struct.pack("<HHH", algorithm, txn, status)
+    if ies:
+        body += pack_ies(ies)
     return Dot11Frame(
         subtype=FrameSubtype.AUTH,
         addr1=dest,
@@ -501,9 +578,13 @@ def make_assoc_request(
     *,
     privacy: bool = False,
     seq: int = 0,
+    extra_ies: Optional[list[InformationElement]] = None,
 ) -> Dot11Frame:
     capability = CAP_ESS | (CAP_PRIVACY if privacy else 0)
-    body = struct.pack("<HH", capability, 10) + pack_ies([ssid_ie(ssid), rates_ie()])
+    ies = [ssid_ie(ssid), rates_ie()]
+    if extra_ies:
+        ies.extend(extra_ies)
+    body = struct.pack("<HH", capability, 10) + pack_ies(ies)
     return Dot11Frame(
         subtype=FrameSubtype.ASSOC_REQ,
         addr1=bssid,
@@ -542,20 +623,25 @@ def make_deauth(
     *,
     reason: int = ReasonCode.PREV_AUTH_EXPIRED,
     seq: int = 0,
+    extra_ies: Optional[list[InformationElement]] = None,
 ) -> Dot11Frame:
     """A deauthentication frame.
 
     Unauthenticated and unencrypted in 802.11b/WEP — which is exactly
     why the paper's attacker "could force the client's disassociation
     from the legitimate AP" (§4) by forging these with the AP's
-    addresses.  (802.11i later added "secure deauthentication", §2.2.)
+    addresses.  (802.11i later added "secure deauthentication", §2.2;
+    a PMF AP appends its MME via ``extra_ies``.)
     """
+    body = struct.pack("<H", int(reason))
+    if extra_ies:
+        body += pack_ies(extra_ies)
     return Dot11Frame(
         subtype=FrameSubtype.DEAUTH,
         addr1=dest,
         addr2=src,
         addr3=bssid,
-        body=struct.pack("<H", reason),
+        body=body,
         seq=seq,
     )
 
@@ -567,13 +653,17 @@ def make_disassoc(
     *,
     reason: int = ReasonCode.INACTIVITY,
     seq: int = 0,
+    extra_ies: Optional[list[InformationElement]] = None,
 ) -> Dot11Frame:
+    body = struct.pack("<H", int(reason))
+    if extra_ies:
+        body += pack_ies(extra_ies)
     return Dot11Frame(
         subtype=FrameSubtype.DISASSOC,
         addr1=dest,
         addr2=src,
         addr3=bssid,
-        body=struct.pack("<H", reason),
+        body=body,
         seq=seq,
     )
 

@@ -28,6 +28,10 @@ class IeId(enum.IntEnum):
     DS_PARAMETER = 3  # current channel
     TIM = 5
     CHALLENGE_TEXT = 16
+    CHANNEL_SWITCH = 37  # CSA: "I am moving to channel N in M beacons"
+    RSN = 48  # robust security network: ciphers, AKMs, PMF bits
+    MME = 76  # management MIC element (802.11w protected deauth)
+    VENDOR_SPECIFIC = 221  # OUI-scoped blobs (WPA v1 lived here)
 
 
 @dataclass(frozen=True)

@@ -43,6 +43,9 @@ class AccessPoint:
         auth_algorithm: int = 0,
         mac_filter: Optional[MacFilter] = None,
         tx_power_dbm: float = 18.0,
+        rsn=None,
+        sae_password: Optional[str] = None,
+        sae_group=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -51,6 +54,7 @@ class AccessPoint:
             bssid=bssid, ssid=ssid, channel=channel, position=position,
             wep_key=wep_key, wpa_psk=wpa_psk, auth_algorithm=auth_algorithm,
             mac_filter=mac_filter, tx_power_dbm=tx_power_dbm,
+            rsn=rsn, sae_password=sae_password, sae_group=sae_group,
         )
         self.core.on_client_frame = self._wireless_to_wired
         # Promiscuous so we see wired frames destined for our stations.

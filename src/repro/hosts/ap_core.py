@@ -44,6 +44,10 @@ from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
+from repro.dot11.ies import IeId, find_ie
+from repro.rsn.ie import AkmSuite, RsnIe, RsnSelection, negotiate
+from repro.rsn.pmf import derive_igtk, mme_for_frame, verify_mgmt_mic
+from repro.rsn.sae import SaeError, SaeParty, sae_container_ie, sae_payload
 from repro.sim.errors import ProtocolError
 from repro.sim.kernel import Simulator
 
@@ -97,6 +101,13 @@ class ClientState:
     rssi_dbm: float = 0.0
     frames_from: int = 0
     wpa: Optional[ApWpaSession] = None
+    # RSN/SAE/PMF per-client state (all None/0 on legacy networks)
+    sae: Optional[SaeParty] = None
+    pmk: Optional[bytes] = None        # SAE outcome; feeds the 4-way
+    rsn: Optional[RsnSelection] = None
+    pmf: bool = False
+    ipn_tx: int = 0                    # MME packet number we send
+    ipn_rx: int = 0                    # replay high-water mark from STA
 
 
 class ApCore:
@@ -122,10 +133,21 @@ class ApCore:
         beaconing: bool = True,
         seqctl=None,
         beacon_jitter_s: float = 0.0,
+        rsn: Optional[RsnIe] = None,
+        sae_password: Optional[str] = None,
+        sae_group=None,
     ) -> None:
         if wep_key is not None and wpa_psk is not None:
             from repro.sim.errors import ConfigurationError
             raise ConfigurationError("a BSS runs WEP or WPA, not both")
+        if rsn is not None:
+            from repro.sim.errors import ConfigurationError
+            if wep_key is not None:
+                raise ConfigurationError("an RSN BSS cannot also run WEP")
+            if rsn.supports(AkmSuite.SAE) and sae_password is None:
+                raise ConfigurationError("SAE AKM advertised without a password")
+            if rsn.supports(AkmSuite.PSK) and wpa_psk is None:
+                raise ConfigurationError("PSK AKM advertised without a PSK")
         self.sim = sim
         self.name = name
         self.bssid = bssid
@@ -133,6 +155,20 @@ class ApCore:
         self.channel = channel
         self.wep = wep_key
         self.wpa_psk = wpa_psk
+        self.rsn = rsn
+        self.sae_password = sae_password
+        if sae_group is None:
+            from repro.crypto.dh import DH_GROUP_1536
+            sae_group = DH_GROUP_1536
+        self.sae_group = sae_group
+        # Advertised in every beacon/probe response; packed once.
+        self._rsn_ies = [rsn.to_ie()] if rsn is not None else None
+        # SAE RNG substream is created lazily on the first commit, so
+        # legacy (non-RSN) worlds draw nothing new — substreams are
+        # independently seeded, but not creating one at all is the
+        # strongest possible no-perturbation guarantee.
+        self._sae_rng = None
+        self.pmf_discards = 0
         self.auth_algorithm = AuthAlgorithm(auth_algorithm)
         self.mac_filter = mac_filter or MacFilter()
         self.port = RadioPort(name=name, position=position, channel=channel,
@@ -182,14 +218,21 @@ class ApCore:
     # ------------------------------------------------------------------
     @property
     def privacy(self) -> bool:
-        """The capability bit: set for WEP and for WPA."""
-        return self.wep is not None or self.wpa_psk is not None
+        """The capability bit: set for WEP, WPA, and RSN networks."""
+        return (self.wep is not None or self.wpa_psk is not None
+                or self.rsn is not None)
+
+    @property
+    def _wpa_enabled(self) -> bool:
+        """Data frames ride pairwise keys (legacy WPA-PSK or RSN)."""
+        return self.wpa_psk is not None or self.rsn is not None
 
     def _beacon(self) -> None:
         frame = make_beacon(self.bssid, self.ssid, self.channel,
                             privacy=self.privacy,
                             timestamp=int(self.sim.now * 1e6),
-                            seq=self.seqctl.next())
+                            seq=self.seqctl.next(),
+                            extra_ies=self._rsn_ies)
         self.port.transmit(frame)
 
     def _jittered_beacon(self) -> None:
@@ -201,7 +244,7 @@ class ApCore:
     def send_to_client(self, dst_mac: MacAddress, src_mac: MacAddress,
                        ethertype: int, payload: bytes) -> None:
         """Transmit a from-DS data frame into the BSS."""
-        if self.wpa_psk is not None and (dst_mac.is_broadcast or dst_mac.is_multicast):
+        if self._wpa_enabled and (dst_mac.is_broadcast or dst_mac.is_multicast):
             # GTK substitution (documented): group frames go per-peer
             # under the pairwise keys.
             for mac, state in list(self.clients.items()):
@@ -220,7 +263,7 @@ class ApCore:
                            payload: bytes) -> None:
         body = llc_encap(ethertype, payload)
         protected = False
-        if self.wpa_psk is not None:
+        if self._wpa_enabled:
             state = self.clients.get(radio_dst)
             if state is None or state.wpa is None or not state.wpa.established:
                 return  # no keys yet: WPA never sends cleartext data
@@ -242,7 +285,7 @@ class ApCore:
             rec.hop("ap", "tx", trace_id=frame.trace_id, host=self.name,
                     t=self.sim.now, dst=str(dst_mac),
                     ethertype=hex(ethertype),
-                    privacy="wpa" if self.wpa_psk is not None
+                    privacy="wpa" if self._wpa_enabled
                     else "wep" if protected else "open")
 
     def _send_eapol(self, sta: MacAddress, payload: bytes) -> None:
@@ -257,12 +300,23 @@ class ApCore:
         return bool(state and state.wpa and state.wpa.established)
 
     def deauth_client(self, mac: MacAddress, reason: int = ReasonCode.UNSPECIFIED) -> None:
-        """Administratively kick a client."""
+        """Administratively kick a client.
+
+        For a PMF association the deauth carries a valid MME, so the
+        station distinguishes this legitimate kick from a forgery.
+        """
         state = self.clients.pop(mac, None)
+        frame = make_deauth(self.bssid, mac, self.bssid,
+                            reason=reason, seq=self.seqctl.next())
+        if (state is not None and state.pmf and state.wpa is not None
+                and state.wpa.established):
+            igtk = derive_igtk(state.wpa.keys.kck)
+            state.ipn_tx += 1
+            mme = mme_for_frame(frame, igtk, state.ipn_tx)
+            frame = frame.with_body(frame.body + mme.to_ie().pack())
         if state is not None and state.wpa is not None:
             state.wpa.shutdown()
-        self.port.transmit(make_deauth(self.bssid, mac, self.bssid,
-                                       reason=reason, seq=self.seqctl.next()))
+        self.port.transmit(frame)
 
     def associated_clients(self) -> list[MacAddress]:
         return [mac for mac, st in self.clients.items()
@@ -289,6 +343,17 @@ class ApCore:
             self._on_assoc_req(frame)
         elif subtype in (FrameSubtype.DEAUTH, FrameSubtype.DISASSOC):
             if frame.addr1 == self.bssid:
+                state = self.clients.get(frame.addr2)
+                if (state is not None and state.pmf
+                        and state.wpa is not None and state.wpa.established):
+                    igtk = derive_igtk(state.wpa.keys.kck)
+                    ipn = verify_mgmt_mic(frame, igtk, state.ipn_rx)
+                    if ipn is None:
+                        # Forged STA-side deauth: cryptographically
+                        # rejected; the association survives.
+                        self.pmf_discards += 1
+                        return
+                    state.ipn_rx = ipn
                 self.clients.pop(frame.addr2, None)
         elif subtype is FrameSubtype.DATA:
             self._on_data(frame)
@@ -309,6 +374,7 @@ class ApCore:
             privacy=self.privacy,
             timestamp=int(self.sim.now * 1e6),
             seq=self.seqctl.next(),
+            extra_ies=self._rsn_ies,
         ))
 
     def _on_auth(self, frame: Dot11Frame, rssi: float) -> None:
@@ -322,6 +388,9 @@ class ApCore:
         try:
             alg, txn, _status, _challenge = frame.parse_auth()
         except ProtocolError:
+            return
+        if alg == AuthAlgorithm.SAE:
+            self._on_auth_sae(frame, sta, txn, rssi)
             return
         if txn != 1:
             return
@@ -354,6 +423,70 @@ class ApCore:
                                          algorithm=alg, txn=2,
                                          status=StatusCode.UNSPECIFIED_FAILURE,
                                          seq=self.seqctl.next()))
+
+    def _on_auth_sae(self, frame: Dot11Frame, sta: MacAddress,
+                     txn: int, rssi: float) -> None:
+        """AP side of SAE: txn 1 = commit exchange, txn 2 = confirm.
+
+        A password-less AP (or one not advertising the SAE AKM) refuses
+        outright — there is nothing it could say that would verify.
+        """
+        def reject(status: int) -> None:
+            self.port.transmit(make_auth(
+                self.bssid, sta, self.bssid,
+                algorithm=AuthAlgorithm.SAE, txn=txn, status=status,
+                seq=self.seqctl.next()))
+
+        if (self.rsn is None or self.sae_password is None
+                or not self.rsn.supports(AkmSuite.SAE)):
+            reject(StatusCode.UNSPECIFIED_FAILURE)
+            return
+        try:
+            payload = sae_payload(frame.parse_trailing_ies(6))
+        except ProtocolError:
+            return
+        if payload is None:
+            return
+        if txn == 1:
+            if not self.mac_filter.permits(sta):
+                reject(StatusCode.UNSPECIFIED_FAILURE)
+                self.sim.trace.emit("dot11.mac_filter_deny", self.name,
+                                    sta=str(sta))
+                return
+            if self._sae_rng is None:
+                self._sae_rng = self.sim.rng.substream(f"sae.{self.name}")
+            party = SaeParty(self.sae_password, self.bssid, sta,
+                             self._sae_rng, group=self.sae_group)
+            try:
+                party.process_commit(payload)
+            except SaeError:
+                reject(StatusCode.UNSPECIFIED_FAILURE)
+                return
+            self.clients[sta] = ClientState(
+                mac=sta, phase=ClientPhase.AUTHENTICATED,
+                rssi_dbm=rssi, sae=party)
+            self.port.transmit(make_auth(
+                self.bssid, sta, self.bssid,
+                algorithm=AuthAlgorithm.SAE, txn=1,
+                status=StatusCode.SUCCESS,
+                extra_ies=[sae_container_ie(party.commit_bytes())],
+                seq=self.seqctl.next()))
+        elif txn == 2:
+            state = self.clients.get(sta)
+            if state is None or state.sae is None:
+                return
+            if not state.sae.process_confirm(payload):
+                # Confirm fails = peer does not hold the password.
+                self.clients.pop(sta, None)
+                reject(StatusCode.CHALLENGE_FAILURE)
+                return
+            state.pmk = state.sae.pmk
+            self.port.transmit(make_auth(
+                self.bssid, sta, self.bssid,
+                algorithm=AuthAlgorithm.SAE, txn=2,
+                status=StatusCode.SUCCESS,
+                extra_ies=[sae_container_ie(state.sae.confirm_bytes())],
+                seq=self.seqctl.next()))
 
     def _on_auth_txn3(self, frame: Dot11Frame, sta: MacAddress) -> None:
         state = self.clients.get(sta)
@@ -400,6 +533,30 @@ class ApCore:
                 self.bssid, sta, status=StatusCode.ASSOC_DENIED_UNSPEC,
                 seq=self.seqctl.next()))
             return
+        link_psk = self.wpa_psk
+        if self.rsn is not None:
+            sta_rsn = None
+            try:
+                rsn_el = find_ie(frame.parse_trailing_ies(4), IeId.RSN)
+                if rsn_el is not None:
+                    sta_rsn = RsnIe.parse(rsn_el.data)
+            except ProtocolError:
+                sta_rsn = None
+            sel = negotiate(self.rsn, sta_rsn)
+            if (sel is not None and sel.akm == int(AkmSuite.SAE)
+                    and state.pmk is None):
+                sel = None  # SAE selected but no completed handshake
+            if sel is None:
+                self.port.transmit(make_assoc_response(
+                    self.bssid, sta, status=StatusCode.ASSOC_DENIED_UNSPEC,
+                    seq=self.seqctl.next()))
+                return
+            state.rsn = sel
+            state.pmf = sel.pmf
+            link_psk = (state.pmk if sel.akm == int(AkmSuite.SAE)
+                        else self.wpa_psk)
+            self.sim.trace.emit("rsn.ap_negotiated", self.name,
+                                sta=str(sta), akm=sel.akm_name, pmf=sel.pmf)
         state.phase = ClientPhase.ASSOCIATED
         state.aid = self._next_aid
         self._next_aid += 1
@@ -411,10 +568,12 @@ class ApCore:
         self.port.transmit(make_assoc_response(
             self.bssid, sta, status=StatusCode.SUCCESS, aid=state.aid,
             privacy=self.privacy, seq=self.seqctl.next()))
-        if self.wpa_psk is not None:
+        if link_psk is not None:
             # Kick off the 4-way handshake right behind the response.
+            # Under SAE ``link_psk`` is the fresh per-session PMK —
+            # exactly how WPA3 layers SAE beneath 802.11i key handling.
             state.wpa = ApWpaSession(
-                self.sim, self.wpa_psk, self.bssid, sta,
+                self.sim, link_psk, self.bssid, sta,
                 send_eapol=lambda p, dst=sta: self._send_eapol(dst, p),
                 rng=self._wpa_rng)
             self.sim.call_soon(state.wpa.start)
@@ -432,7 +591,7 @@ class ApCore:
             return
         state.frames_from += 1
         body = frame.body
-        if self.wpa_psk is not None:
+        if self._wpa_enabled:
             if frame.protected:
                 if state.wpa is None or not state.wpa.established:
                     self.wep_drop_count += 1
@@ -516,6 +675,9 @@ class SoftApInterface(Interface):
         tx_power_dbm: float = 18.0,
         seqctl=None,
         beacon_jitter_s: float = 0.0,
+        rsn: Optional[RsnIe] = None,
+        sae_password: Optional[str] = None,
+        sae_group=None,
     ) -> None:
         super().__init__(name, bssid)
         self._pending_core_args = dict(
@@ -523,6 +685,7 @@ class SoftApInterface(Interface):
             channel=channel, wep_key=wep_key, wpa_psk=wpa_psk,
             mac_filter=mac_filter, tx_power_dbm=tx_power_dbm,
             seqctl=seqctl, beacon_jitter_s=beacon_jitter_s,
+            rsn=rsn, sae_password=sae_password, sae_group=sae_group,
         )
         self.core: Optional[ApCore] = None
 
@@ -536,6 +699,8 @@ class SoftApInterface(Interface):
             wpa_psk=args["wpa_psk"], mac_filter=args["mac_filter"],
             tx_power_dbm=args["tx_power_dbm"],
             seqctl=args["seqctl"], beacon_jitter_s=args["beacon_jitter_s"],
+            rsn=args["rsn"], sae_password=args["sae_password"],
+            sae_group=args["sae_group"],
         )
         self.core.on_client_frame = self._from_client
 

@@ -38,6 +38,9 @@ from repro.obs.lineage import flight_recorder
 from repro.obs.runtime import obs_metrics
 from repro.radio.medium import Medium, RadioPort
 from repro.radio.propagation import Position
+from repro.rsn.ie import AkmSuite, CsaIe, RsnIe, RsnSelection, negotiate
+from repro.rsn.pmf import derive_igtk, verify_mgmt_mic
+from repro.rsn.sae import SaeError, SaeParty, sae_container_ie, sae_payload
 from repro.sim.errors import ConfigurationError, ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -254,6 +257,18 @@ class WirelessInterface(Interface):
         self.wpa_psk: Optional[bytes] = None
         self._wpa = None  # StaWpaSession while associated to a WPA BSS
         self.iv_gen: Optional[IvGenerator] = None
+        # RSN/SAE/PMF supplicant state (all inert unless join(rsn=...))
+        self.rsn: Optional[RsnIe] = None
+        self.rsn_strict = True
+        self.sae_password: Optional[str] = None
+        self.sae_group = None
+        self._selected_rsn: Optional[RsnSelection] = None
+        self._sae: Optional[SaeParty] = None
+        self._sae_attempts = 0
+        self._pmk: Optional[bytes] = None
+        self._link_psk: Optional[bytes] = None  # 4-way input this assoc
+        self._pmf_rx_ipn = 0
+        self._csa_pending = None
         self.auth_algorithm = AuthAlgorithm.OPEN_SYSTEM
         self.scan_channels: tuple[int, ...] = tuple(range(1, 12))
         self.selection_policy: Callable = strongest_rssi_policy
@@ -283,6 +298,8 @@ class WirelessInterface(Interface):
         self.associations = 0
         self.deauths_received = 0
         self.wep_decrypt_failures = 0
+        self.pmf_discards = 0
+        self.csa_switches = 0
 
     # ------------------------------------------------------------------
     # joining
@@ -296,10 +313,35 @@ class WirelessInterface(Interface):
         auth_algorithm: int = AuthAlgorithm.OPEN_SYSTEM,
         channels: Optional[tuple[int, ...]] = None,
         policy: Optional[Callable] = None,
+        rsn: Optional[RsnIe] = None,
+        sae_password: Optional[str] = None,
+        sae_group=None,
+        rsn_strict: bool = True,
     ) -> None:
-        """Configure the target network and start scanning for it."""
+        """Configure the target network and start scanning for it.
+
+        ``rsn`` makes this a modern supplicant: it negotiates the
+        strongest AKM both sides support (SAE over PSK) and honors PMF.
+        ``rsn_strict=False`` models a sloppy transition-mode client
+        that will also take an *open* network under the target SSID —
+        the posture the downgrade rogue preys on.
+        """
         if wep_key is not None and wpa_psk is not None:
             raise ConfigurationError("configure WEP or WPA-PSK, not both")
+        if rsn is not None:
+            if wep_key is not None:
+                raise ConfigurationError("RSN and WEP cannot be combined")
+            if rsn.supports(AkmSuite.SAE) and sae_password is None:
+                raise ConfigurationError("SAE AKM configured without a password")
+            if rsn.supports(AkmSuite.PSK) and wpa_psk is None:
+                raise ConfigurationError("PSK AKM configured without a PSK")
+        self.rsn = rsn
+        self.rsn_strict = rsn_strict
+        self.sae_password = sae_password
+        if sae_group is None:
+            from repro.crypto.dh import DH_GROUP_1536
+            sae_group = DH_GROUP_1536
+        self.sae_group = sae_group
         self.target_ssid = ssid
         self.wep = wep_key
         self.wpa_psk = wpa_psk
@@ -321,12 +363,23 @@ class WirelessInterface(Interface):
 
     def _start_scan(self) -> None:
         self._cancel_mgmt_timer()
+        self._cancel_csa()
         self.state = StaState.SCANNING
         self.bssid = None
         self.channel = None
+        self._selected_rsn = None
+        self._sae = None
+        self._pmk = None
+        self._link_psk = None
+        self._pmf_rx_ipn = 0
         self._candidates.clear()
         self._scan_idx = 0
         self._scan_step()
+
+    def _cancel_csa(self) -> None:
+        if self._csa_pending is not None:
+            self._csa_pending.cancel()
+            self._csa_pending = None
 
     def _scan_step(self) -> None:
         if self.state is not StaState.SCANNING:
@@ -342,13 +395,30 @@ class WirelessInterface(Interface):
         self.port.transmit(probe)
         self.sim.schedule(self.DWELL_S, self._scan_step)
 
+    def _acceptable(self, c: BssCandidate) -> bool:
+        """Whether a scanned BSS matches our security configuration."""
+        if self.rsn is None:
+            # Legacy path, untouched: privacy bit must match the keys.
+            expects_privacy = self.wep is not None or self.wpa_psk is not None
+            return c.info.privacy == expects_privacy
+        if c.info.rsn is not None:
+            try:
+                ap_rsn = RsnIe.parse(c.info.rsn)
+            except ProtocolError:
+                return False
+            return negotiate(ap_rsn, self.rsn) is not None
+        if not c.info.privacy:
+            # No RSN, no privacy bit: an open BSS under our SSID.  Only
+            # a non-strict transition client takes the bait — this is
+            # the association the downgrade rogue is fishing for.
+            return not self.rsn_strict
+        return False  # privacy without an RSN IE = WEP-era gear
+
     def _finish_scan(self) -> None:
         self._decay_penalties()
-        expects_privacy = self.wep is not None or self.wpa_psk is not None
         matches = [
             c for c in self._candidates.values()
-            if c.info.ssid == self.target_ssid
-            and c.info.privacy == expects_privacy
+            if c.info.ssid == self.target_ssid and self._acceptable(c)
         ]
         choice = self.selection_policy(matches, dict(self._penalties))
         if choice is None:
@@ -363,6 +433,18 @@ class WirelessInterface(Interface):
         self.bssid = choice.info.bssid
         self.channel = choice.channel
         self._retries = 0
+        self._selected_rsn = None
+        if self.rsn is not None and choice.info.rsn is not None:
+            try:
+                self._selected_rsn = negotiate(RsnIe.parse(choice.info.rsn),
+                                               self.rsn)
+            except ProtocolError:
+                self._selected_rsn = None
+        if self._selected_rsn is not None:
+            self.sim.trace.emit(
+                "rsn.sta_negotiated", self.name,
+                bssid=str(choice.info.bssid),
+                akm=self._selected_rsn.akm_name, pmf=self._selected_rsn.pmf)
         self._send_auth_start()
 
     # ------------------------------------------------------------------
@@ -370,17 +452,42 @@ class WirelessInterface(Interface):
     # ------------------------------------------------------------------
     def _send_auth_start(self) -> None:
         self.state = StaState.AUTHENTICATING
-        frame = make_auth(self.mac, self.bssid, self.bssid,
-                          algorithm=self.auth_algorithm, txn=1,
-                          seq=self.seqctl.next())
+        if (self._selected_rsn is not None
+                and self._selected_rsn.akm == int(AkmSuite.SAE)):
+            if self._sae is None:
+                self._sae_attempts += 1
+                self._sae = SaeParty(
+                    self.sae_password, self.mac, self.bssid,
+                    self.sim.rng.substream(
+                        f"sae.{self.name}.{self._sae_attempts}"),
+                    group=self.sae_group)
+            frame = make_auth(
+                self.mac, self.bssid, self.bssid,
+                algorithm=AuthAlgorithm.SAE, txn=1,
+                extra_ies=[sae_container_ie(self._sae.commit_bytes())],
+                seq=self.seqctl.next())
+        else:
+            frame = make_auth(self.mac, self.bssid, self.bssid,
+                              algorithm=self.auth_algorithm, txn=1,
+                              seq=self.seqctl.next())
         self.port.transmit(frame)
         self._arm_mgmt_timer(self._send_auth_start)
 
     def _send_assoc_request(self) -> None:
         self.state = StaState.ASSOCIATING
-        frame = make_assoc_request(self.mac, self.bssid, self.target_ssid or "",
-                                   privacy=self.wep is not None,
-                                   seq=self.seqctl.next())
+        if self._selected_rsn is not None and self.rsn is not None:
+            # Advertise *our* capabilities; the AP re-runs the same
+            # negotiation and must land on the same selection.
+            frame = make_assoc_request(self.mac, self.bssid,
+                                       self.target_ssid or "",
+                                       privacy=True,
+                                       extra_ies=[self.rsn.to_ie()],
+                                       seq=self.seqctl.next())
+        else:
+            frame = make_assoc_request(self.mac, self.bssid,
+                                       self.target_ssid or "",
+                                       privacy=self.wep is not None,
+                                       seq=self.seqctl.next())
         self.port.transmit(frame)
         self._arm_mgmt_timer(self._send_assoc_request)
 
@@ -421,10 +528,18 @@ class WirelessInterface(Interface):
         self._cancel_mgmt_timer()
         self.state = StaState.ASSOCIATED
         self.associations += 1
-        if self.wpa_psk is not None:
+        link_psk = self.wpa_psk
+        if self.rsn is not None:
+            sel = self._selected_rsn
+            if sel is None:
+                link_psk = None  # open fallback (rsn_strict=False bit)
+            elif sel.akm == int(AkmSuite.SAE):
+                link_psk = self._pmk  # fresh per-association SAE PMK
+        self._link_psk = link_psk
+        if link_psk is not None:
             from repro.hosts.wpa_link import StaWpaSession
             self._wpa = StaWpaSession(
-                self.wpa_psk, self.mac, self.bssid,
+                link_psk, self.mac, self.bssid,
                 send_eapol=self._send_eapol,
                 rng=self.sim.rng.substream(f"wpa.{self.name}.{self.associations}"))
         self._last_beacon_time = self.sim.now
@@ -456,6 +571,7 @@ class WirelessInterface(Interface):
 
     def _disassociate(self, rejoin: bool) -> None:
         self._cancel_mgmt_timer()
+        self._cancel_csa()
         if self._beacon_watch is not None:
             self._beacon_watch.cancel()
             self._beacon_watch = None
@@ -463,6 +579,9 @@ class WirelessInterface(Interface):
         self.bssid = None
         self.channel = None
         self._wpa = None
+        self._link_psk = None
+        self._sae = None
+        self._pmk = None
         if rejoin and self.auto_reconnect and self.target_ssid is not None:
             self.sim.schedule(self.REJOIN_DELAY_S, self._start_scan)
 
@@ -471,11 +590,26 @@ class WirelessInterface(Interface):
         return self.state is StaState.ASSOCIATED
 
     @property
+    def negotiated_akm(self) -> Optional[str]:
+        """AKM name this association negotiated (``None`` = open/legacy)."""
+        return self._selected_rsn.akm_name if self._selected_rsn else None
+
+    @property
+    def pmf_active(self) -> bool:
+        """Whether this association negotiated management-frame protection."""
+        return self._selected_rsn is not None and self._selected_rsn.pmf
+
+    @property
+    def link_encrypted(self) -> bool:
+        """Whether data on the current association is protected at all."""
+        return self._link_psk is not None or self.wep is not None
+
+    @property
     def link_ready(self) -> bool:
         """Associated *and* keyed (WPA needs the 4-way to finish)."""
         if not self.associated:
             return False
-        if self.wpa_psk is not None:
+        if self._link_psk is not None:
             return self._wpa is not None and self._wpa.established
         return True
 
@@ -495,7 +629,7 @@ class WirelessInterface(Interface):
             return  # not connected; upper layers retry (ARP) or time out (TCP)
         body = llc_encap(ethertype, payload)
         protected = False
-        if self.wpa_psk is not None:
+        if self._link_psk is not None:
             if self._wpa is None or not self._wpa.established:
                 return  # keys not installed yet; WPA sends no cleartext data
             body = self._wpa.tx.encapsulate(body)
@@ -511,7 +645,7 @@ class WirelessInterface(Interface):
             rec.hop("nic", "tx", trace_id=frame.trace_id,
                     host=self._hop_host(), t=self.sim.now,
                     ethertype=hex(ethertype),
-                    privacy="wpa" if self.wpa_psk is not None
+                    privacy="wpa" if self._link_psk is not None
                     else "wep" if protected else "open")
 
     # ------------------------------------------------------------------
@@ -545,6 +679,40 @@ class WirelessInterface(Interface):
         elif self.state is StaState.ASSOCIATED and frame.addr3 == self.bssid:
             self._last_beacon_time = self.sim.now
             self.current_rssi = rssi
+            if info.csa is not None and self._csa_pending is None:
+                self._honor_csa(info)
+
+    def _honor_csa(self, info: BeaconInfo) -> None:
+        """Obey a channel-switch announcement from our own BSS.
+
+        Standard-mandated behaviour — and an unauthenticated lure: a
+        forged beacon with a CSA IE herds us onto the attacker's
+        channel just as obediently as a genuine switch.
+        """
+        try:
+            csa = CsaIe.parse(info.csa)
+        except ProtocolError:
+            return
+        if csa.new_channel == self.channel:
+            return
+        delay = max(1, csa.count) * info.interval_tu * 1024e-6
+        self.sim.trace.emit("dot11.csa_rx", self.name, bssid=str(self.bssid),
+                            new_channel=csa.new_channel, count=csa.count)
+        self._csa_pending = self.sim.schedule(
+            delay, lambda: self._execute_csa(csa.new_channel))
+
+    def _execute_csa(self, new_channel: int) -> None:
+        self._csa_pending = None
+        if self.state is not StaState.ASSOCIATED:
+            return
+        self.port.channel = new_channel
+        self.channel = new_channel
+        self.csa_switches += 1
+        self.sim.trace.emit("dot11.csa_switch", self.name,
+                            bssid=str(self.bssid), channel=new_channel)
+        m = obs_metrics()
+        if m is not None:
+            m.incr("dot11.csa_switches")
 
     def _on_auth(self, frame: Dot11Frame) -> None:
         if self.state is not StaState.AUTHENTICATING or frame.addr1 != self.mac:
@@ -562,6 +730,9 @@ class WirelessInterface(Interface):
             self._record_failure()
             self._cancel_mgmt_timer()
             self._start_scan()
+            return
+        if alg == AuthAlgorithm.SAE:
+            self._on_auth_sae(frame, txn)
             return
         if alg == AuthAlgorithm.SHARED_KEY and txn == 2 and challenge is not None:
             # Return the challenge WEP-encrypted (the step that leaks keystream).
@@ -581,6 +752,48 @@ class WirelessInterface(Interface):
             self._cancel_mgmt_timer()
             self._retries = 0
             self._send_assoc_request()
+
+    def _on_auth_sae(self, frame: Dot11Frame, txn: int) -> None:
+        """SAE commit/confirm exchange (status SUCCESS already checked)."""
+        if self._sae is None:
+            return
+        try:
+            payload = sae_payload(frame.parse_trailing_ies(6))
+        except ProtocolError:
+            return
+        if payload is None:
+            return
+        if txn == 1:
+            try:
+                self._sae.process_commit(payload)
+            except SaeError:
+                self._sae_fail()
+                return
+            reply = make_auth(
+                self.mac, self.bssid, self.bssid,
+                algorithm=AuthAlgorithm.SAE, txn=2,
+                extra_ies=[sae_container_ie(self._sae.confirm_bytes())],
+                seq=self.seqctl.next())
+            self.port.transmit(reply)
+            self._arm_mgmt_timer(self._send_auth_start)
+        elif txn == 2:
+            if not self._sae.process_confirm(payload):
+                # The password proof the 2003 client never had: an AP
+                # that cannot produce a valid confirm does not know the
+                # password, and we walk away instead of associating.
+                self._sae_fail()
+                return
+            self._pmk = self._sae.pmk
+            self._cancel_mgmt_timer()
+            self._retries = 0
+            self._send_assoc_request()
+
+    def _sae_fail(self) -> None:
+        self.sim.trace.emit("rsn.sae_reject", self.name, bssid=str(self.bssid))
+        self._sae = None
+        self._record_failure()
+        self._cancel_mgmt_timer()
+        self._start_scan()
 
     def _on_assoc_resp(self, frame: Dot11Frame) -> None:
         if self.state is not StaState.ASSOCIATING or frame.addr1 != self.mac:
@@ -614,6 +827,22 @@ class WirelessInterface(Interface):
         if not relevant:
             return
         self.deauths_received += 1
+        if (self._selected_rsn is not None and self._selected_rsn.pmf
+                and self._wpa is not None and self._wpa.established):
+            # PMF: a keyed session only honors deauth/disassoc bearing
+            # a valid, non-replayed MME.  Forgeries bounce off — the
+            # fix the paper's §4 flood predates.
+            igtk = derive_igtk(self._wpa.keys.kck)
+            ipn = verify_mgmt_mic(frame, igtk, self._pmf_rx_ipn)
+            if ipn is None:
+                self.pmf_discards += 1
+                self.sim.trace.emit("dot11.pmf_discard", self.name,
+                                    bssid=str(frame.addr2))
+                m = obs_metrics()
+                if m is not None:
+                    m.incr("dot11.pmf_discards")
+                return
+            self._pmf_rx_ipn = ipn
         try:
             reason = frame.parse_reason()
         except ProtocolError:
@@ -636,7 +865,7 @@ class WirelessInterface(Interface):
         if frame.addr1 != self.mac and not frame.addr1.is_broadcast:
             return
         body = frame.body
-        if self.wpa_psk is not None:
+        if self._link_psk is not None:
             if frame.protected:
                 if self._wpa is None or not self._wpa.established:
                     self.wep_decrypt_failures += 1
@@ -673,6 +902,6 @@ class WirelessInterface(Interface):
             rec.hop("nic", "deliver", trace_id=frame.trace_id,
                     host=self._hop_host(), t=self.sim.now,
                     ethertype=hex(ethertype), bytes=len(payload),
-                    privacy="wpa" if self.wpa_psk is not None
+                    privacy="wpa" if self._link_psk is not None
                     else "wep" if frame.protected else "open")
         self._deliver_up(frame.source, frame.destination, ethertype, payload)

@@ -62,6 +62,10 @@ class Station(Host):
         auth_algorithm: int = 0,
         policy: Optional[Callable] = None,
         channels: Optional[tuple[int, ...]] = None,
+        rsn=None,
+        sae_password: Optional[str] = None,
+        sae_group=None,
+        rsn_strict: bool = True,
     ) -> None:
         """Join a network and statically configure IP (the §4.1 victim setup)."""
         if ip is not None:
@@ -70,7 +74,9 @@ class Station(Host):
             self.routing.add_default(IPv4Address(gateway), "wlan0")
         self.wlan.join(ssid, wep_key=wep_key, wpa_psk=wpa_psk,
                        auth_algorithm=auth_algorithm,
-                       policy=policy, channels=channels)
+                       policy=policy, channels=channels,
+                       rsn=rsn, sae_password=sae_password,
+                       sae_group=sae_group, rsn_strict=rsn_strict)
 
     @property
     def associated_bssid(self) -> Optional[MacAddress]:

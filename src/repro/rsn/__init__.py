@@ -1,0 +1,52 @@
+"""``repro.rsn`` — modern Wi-Fi security: RSN IEs, SAE, and PMF.
+
+The industry's answer to the paper's central finding (a client cannot
+authenticate the network it joins): RSN advertisement and negotiation,
+the SAE password-authenticated key exchange (WPA3), and 802.11w
+management-frame protection — plus the modern attacks that defeat the
+deployments which leave them optional: `DowngradeRogueAP` (strip or
+weaken the RSN IE) and `CsaLureAttack` (channel-switch herding).
+
+Import discipline mirrors ``repro.wids``: this package pulls in only
+wire/crypto modules; the radio-layer attack and experiment modules
+(``repro.rsn.attacks``, ``repro.rsn.experiment``) are imported lazily
+by the experiment registry to keep import cycles out.
+"""
+
+from repro.rsn.ie import (
+    MFPC,
+    MFPR,
+    RSN_OUI,
+    RSN_VERSION,
+    AkmSuite,
+    CipherSuite,
+    CsaIe,
+    RsnIe,
+    RsnSelection,
+    VendorIe,
+    negotiate,
+)
+from repro.rsn.pmf import Mme, derive_igtk, mme_for_frame, verify_mgmt_mic
+from repro.rsn.sae import SaeError, SaeParty, sae_container_ie, sae_payload
+
+__all__ = [
+    "AkmSuite",
+    "CipherSuite",
+    "CsaIe",
+    "MFPC",
+    "MFPR",
+    "Mme",
+    "RSN_OUI",
+    "RSN_VERSION",
+    "RsnIe",
+    "RsnSelection",
+    "SaeError",
+    "SaeParty",
+    "VendorIe",
+    "derive_igtk",
+    "mme_for_frame",
+    "negotiate",
+    "sae_container_ie",
+    "sae_payload",
+    "verify_mgmt_mic",
+]

@@ -1,0 +1,331 @@
+"""RSN, channel-switch, and vendor information-element codecs.
+
+The RSN (robust security network) element is how a modern network
+*advertises* its security posture: which pairwise/group ciphers it
+runs, which AKMs (PSK = WPA2-personal, SAE = WPA3) it accepts, and
+whether management-frame protection (802.11w) is capable/required —
+the MFPC/MFPR capability bits.  The element is still **self-asserted
+and unauthenticated**, exactly like the 2003-era SSID the paper turns
+on: nothing stops a rogue from advertising a *weaker* RSN under the
+same SSID/BSSID.  SAE only closes the hole if clients refuse the
+downgrade — which is precisely what the E-DOWNGRADE experiment probes.
+
+Wire layout (802.11-2016 §9.4.2.25, simplified: no PMKID list, no
+group-management-cipher field):
+
+    u16   version (= 1)
+    4B    group cipher suite   (OUI 00-0F-AC + type)
+    u16   pairwise count, then count x 4B suites
+    u16   AKM count,      then count x 4B suites
+    u16   RSN capabilities    (bit 6 MFPR, bit 7 MFPC)
+
+All integers little-endian, as everywhere in 802.11.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.dot11.ies import IeId, InformationElement
+from repro.sim.errors import ProtocolError
+from repro.wire import HeaderSpec, fixed_bytes, take, u16
+
+__all__ = [
+    "AkmSuite",
+    "CipherSuite",
+    "CsaIe",
+    "MFPC",
+    "MFPR",
+    "RSN_OUI",
+    "RSN_VERSION",
+    "RsnIe",
+    "RsnSelection",
+    "VendorIe",
+    "negotiate",
+]
+
+#: The OUI every standard cipher/AKM selector carries.
+RSN_OUI = b"\x00\x0f\xac"
+RSN_VERSION = 1
+
+# RSN capability bits (u16, little-endian).
+MFPR = 0x0040  # management frame protection REQUIRED
+MFPC = 0x0080  # management frame protection CAPABLE
+
+
+class CipherSuite(enum.IntEnum):
+    """Cipher suite selector types under OUI 00-0F-AC."""
+
+    WEP40 = 1
+    TKIP = 2
+    CCMP = 4
+    WEP104 = 5
+    BIP_CMAC = 6  # the management-frame integrity cipher (802.11w)
+
+
+class AkmSuite(enum.IntEnum):
+    """AKM suite selector types under OUI 00-0F-AC."""
+
+    IEEE_8021X = 1
+    PSK = 2        # WPA2-Personal
+    SAE = 8        # WPA3-Personal
+
+    @property
+    def strength(self) -> int:
+        """Ordering for "strongest mutually supported" negotiation."""
+        return _AKM_STRENGTH.get(int(self), 0)
+
+
+#: SAE resists offline dictionary attacks and provides forward secrecy;
+#: 802.1X delegates to an authentication server; raw PSK does neither.
+_AKM_STRENGTH = {int(AkmSuite.SAE): 3, int(AkmSuite.IEEE_8021X): 2,
+                 int(AkmSuite.PSK): 1}
+
+_RSN_PREFIX = HeaderSpec(
+    "RSN IE prefix", "<",
+    u16("version"),
+    fixed_bytes("group", 4),
+)
+
+
+def _pack_suite(suite_type: int) -> bytes:
+    if not 0 <= suite_type <= 255:
+        raise ProtocolError(f"suite selector type {suite_type} out of range")
+    return RSN_OUI + bytes([suite_type])
+
+
+def _parse_suite(raw: Union[bytes, memoryview], what: str) -> int:
+    raw = bytes(raw)
+    if raw[:3] != RSN_OUI:
+        raise ProtocolError(f"non-standard {what} suite OUI {raw[:3].hex()}")
+    return raw[3]
+
+
+@dataclass(frozen=True)
+class RsnIe:
+    """A decoded (or to-be-advertised) RSN element."""
+
+    group_cipher: int = CipherSuite.CCMP
+    pairwise: tuple[int, ...] = (int(CipherSuite.CCMP),)
+    akms: tuple[int, ...] = (int(AkmSuite.PSK),)
+    pmf_capable: bool = False
+    pmf_required: bool = False
+    version: int = RSN_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.pairwise:
+            raise ProtocolError("RSN IE needs at least one pairwise cipher")
+        if not self.akms:
+            raise ProtocolError("RSN IE needs at least one AKM suite")
+        if len(self.pairwise) > 255 or len(self.akms) > 255:
+            raise ProtocolError("RSN suite list too long")
+
+    # -- convenience profiles ------------------------------------------
+    @classmethod
+    def wpa2(cls) -> "RsnIe":
+        """WPA2-Personal: PSK, no management-frame protection."""
+        return cls(akms=(int(AkmSuite.PSK),))
+
+    @classmethod
+    def wpa3(cls) -> "RsnIe":
+        """WPA3-Personal: SAE with PMF mandatory."""
+        return cls(akms=(int(AkmSuite.SAE),),
+                   pmf_capable=True, pmf_required=True)
+
+    @classmethod
+    def wpa3_transition(cls) -> "RsnIe":
+        """Transition mode: SAE preferred, PSK allowed, PMF optional.
+
+        The mode the downgrade attack feeds on — the client *may* fall
+        back, so a rogue advertising PSK-only still gets a bite.
+        """
+        return cls(akms=(int(AkmSuite.SAE), int(AkmSuite.PSK)),
+                   pmf_capable=True, pmf_required=False)
+
+    @property
+    def capabilities(self) -> int:
+        caps = 0
+        if self.pmf_capable or self.pmf_required:
+            caps |= MFPC
+        if self.pmf_required:
+            caps |= MFPR
+        return caps
+
+    def supports(self, akm: int) -> bool:
+        return int(akm) in self.akms
+
+    # -- wire ----------------------------------------------------------
+    def pack(self) -> bytes:
+        out = [_RSN_PREFIX.pack(version=self.version,
+                                group=_pack_suite(self.group_cipher))]
+        out.append(struct.pack("<H", len(self.pairwise)))
+        out.extend(_pack_suite(s) for s in self.pairwise)
+        out.append(struct.pack("<H", len(self.akms)))
+        out.extend(_pack_suite(s) for s in self.akms)
+        out.append(struct.pack("<H", self.capabilities))
+        return b"".join(out)
+
+    def to_ie(self) -> InformationElement:
+        return InformationElement(IeId.RSN, self.pack())
+
+    @classmethod
+    def parse(cls, body: Union[bytes, bytearray, memoryview]) -> "RsnIe":
+        view = memoryview(body)
+        if len(view) < _RSN_PREFIX.size:
+            raise ProtocolError("truncated RSN IE prefix")
+        prefix = _RSN_PREFIX.unpack(view[:_RSN_PREFIX.size])
+        offset = _RSN_PREFIX.size
+        group = _parse_suite(prefix["group"], "group cipher")
+
+        def suite_list(what: str, offset: int) -> tuple[tuple[int, ...], int]:
+            raw, offset = take(view, offset, 2, f"RSN {what} count")
+            (count,) = struct.unpack("<H", raw)
+            suites = []
+            for _ in range(count):
+                raw, offset = take(view, offset, 4, f"RSN {what} suite")
+                suites.append(_parse_suite(raw, what))
+            return tuple(suites), offset
+
+        pairwise, offset = suite_list("pairwise", offset)
+        akms, offset = suite_list("AKM", offset)
+        raw, offset = take(view, offset, 2, "RSN capabilities")
+        (caps,) = struct.unpack("<H", raw)
+        return cls(
+            group_cipher=group,
+            pairwise=pairwise,
+            akms=akms,
+            pmf_capable=bool(caps & MFPC),
+            pmf_required=bool(caps & MFPR),
+            version=prefix["version"],
+        )
+
+    @classmethod
+    def from_ie(cls, ie: InformationElement) -> "RsnIe":
+        if ie.element_id != IeId.RSN:
+            raise ProtocolError(f"not an RSN IE (id {ie.element_id})")
+        return cls.parse(ie.data)
+
+
+@dataclass(frozen=True)
+class CsaIe:
+    """Channel Switch Announcement (802.11h §9.4.2.19).
+
+    "This BSS moves to ``new_channel`` in ``count`` beacon intervals."
+    Standards-honest clients follow it blindly — the element is as
+    unauthenticated as a 2003 beacon, which is what `CsaLureAttack`
+    exploits to herd victims onto the rogue's channel.
+    """
+
+    new_channel: int
+    count: int = 3          # beacons until the switch
+    mode: int = 1           # 1 = cease transmission until switched
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.new_channel <= 14:
+            raise ProtocolError(f"invalid CSA target channel {self.new_channel}")
+        if not 0 <= self.count <= 255:
+            raise ProtocolError("CSA count out of range")
+        if self.mode not in (0, 1):
+            raise ProtocolError("CSA mode must be 0 or 1")
+
+    def pack(self) -> bytes:
+        return bytes([self.mode, self.new_channel, self.count])
+
+    def to_ie(self) -> InformationElement:
+        return InformationElement(IeId.CHANNEL_SWITCH, self.pack())
+
+    @classmethod
+    def parse(cls, body: Union[bytes, bytearray, memoryview]) -> "CsaIe":
+        raw = bytes(body)
+        if len(raw) != 3:
+            raise ProtocolError(f"CSA IE must be 3 bytes, got {len(raw)}")
+        return cls(mode=raw[0], new_channel=raw[1], count=raw[2])
+
+
+@dataclass(frozen=True)
+class VendorIe:
+    """Vendor-specific element (id 221): a 3-byte OUI scoping a blob.
+
+    Pre-standard WPA v1 lived here; we use an OUI-scoped container to
+    carry SAE commit/confirm payloads inside auth frames so that
+    RSN-oblivious parsers skip them as just another unknown element.
+    """
+
+    oui: bytes
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.oui) != 3:
+            raise ProtocolError("vendor IE OUI must be 3 bytes")
+        if len(self.data) > 252:
+            raise ProtocolError("vendor IE payload too long")
+
+    def pack(self) -> bytes:
+        return self.oui + self.data
+
+    def to_ie(self) -> InformationElement:
+        return InformationElement(IeId.VENDOR_SPECIFIC, self.pack())
+
+    @classmethod
+    def parse(cls, body: Union[bytes, bytearray, memoryview]) -> "VendorIe":
+        raw = bytes(body)
+        if len(raw) < 3:
+            raise ProtocolError("truncated vendor IE (no OUI)")
+        return cls(oui=raw[:3], data=raw[3:])
+
+
+# ----------------------------------------------------------------------
+# negotiation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RsnSelection:
+    """Outcome of AP/STA RSN negotiation: one AKM, one cipher, PMF y/n."""
+
+    akm: int
+    pairwise: int
+    group: int
+    pmf: bool
+
+    @property
+    def akm_name(self) -> str:
+        try:
+            return AkmSuite(self.akm).name
+        except ValueError:
+            return f"akm-{self.akm}"
+
+
+#: Cipher preference for negotiation (strongest first).
+_CIPHER_PREFERENCE = (int(CipherSuite.CCMP), int(CipherSuite.TKIP))
+
+
+def negotiate(ap: Optional[RsnIe], sta: Optional[RsnIe]) -> Optional[RsnSelection]:
+    """Strongest mutually supported AKM + cipher, honoring PMF bits.
+
+    Returns None when no RSN association is possible: either side
+    lacks an RSN IE, versions mismatch, no common AKM/cipher exists,
+    or one side *requires* PMF the other cannot do.
+    """
+    if ap is None or sta is None:
+        return None
+    if ap.version != RSN_VERSION or sta.version != RSN_VERSION:
+        return None
+    common_akms = [a for a in ap.akms if a in sta.akms]
+    if not common_akms:
+        return None
+    akm = max(common_akms, key=lambda a: _AKM_STRENGTH.get(int(a), 0))
+    pairwise = next((c for c in _CIPHER_PREFERENCE
+                     if c in ap.pairwise and c in sta.pairwise), None)
+    if pairwise is None:
+        return None
+    ap_mfpc = ap.pmf_capable or ap.pmf_required
+    sta_mfpc = sta.pmf_capable or sta.pmf_required
+    if ap.pmf_required and not sta_mfpc:
+        return None
+    if sta.pmf_required and not ap_mfpc:
+        return None
+    return RsnSelection(akm=int(akm), pairwise=int(pairwise),
+                        group=int(ap.group_cipher), pmf=ap_mfpc and sta_mfpc)

@@ -45,9 +45,11 @@ __all__ = [
     "Detector",
     "DETECTORS",
     "MultiChannelSsidDetector",
+    "RsnMismatchDetector",
     "SeqCtlAnomalyDetector",
     "SeqCtlMonitor",
     "SpoofVerdict",
+    "UnexpectedCsaDetector",
     "default_detectors",
     "get_detector_class",
     "register",
@@ -332,6 +334,77 @@ class DeauthFloodDetector(Detector):
                 reason=(f"{len(times)} deauth/disassoc in "
                         f"{self.window_s:g} s claiming {subject}"),
             )
+
+
+@register
+class RsnMismatchDetector(Detector):
+    """WPA3-downgrade evidence: one SSID advertised at two postures.
+
+    The first beacon seen for an SSID pins its security posture — the
+    raw RSN IE bytes (or their absence).  Any later advertisement of
+    the same SSID with a *different* posture is evidence: a downgrade
+    rogue must offer weaker security than the network it impersonates,
+    and the RSN IE is where that offer is written.  Keying on the SSID
+    alone (not SSID+BSSID) catches rogues that don't bother cloning
+    the BSSID; legacy networks advertise no RSN anywhere, so the
+    posture is uniformly "absent" and the detector stays silent.
+    """
+
+    name = "rsn-mismatch"
+    default_threshold = 1.0
+    SWEEP = (1.0, 2.0, 4.0, 8.0)
+
+    def __init__(self, threshold: Optional[float] = None) -> None:
+        super().__init__(threshold)
+        self._postures: Dict[str, Optional[bytes]] = {}
+
+    def observe(self, cap: CapturedFrame) -> Iterator[Detection]:
+        if cap.frame.subtype not in (FrameSubtype.BEACON,
+                                     FrameSubtype.PROBE_RESP):
+            return
+        info = _parse_beacon(cap)
+        if info is None:
+            return
+        posture = info.rsn  # raw IE bytes, None when absent
+        seen = self._postures.setdefault(info.ssid, posture)
+        if posture != seen:
+            def _label(p: Optional[bytes]) -> str:
+                return "no-RSN" if p is None else f"RSN[{p.hex()}]"
+            yield Detection(
+                subject=f"{info.ssid}/{info.bssid}",
+                reason=(f"SSID {info.ssid!r} advertised as "
+                        f"{_label(posture)} but pinned as "
+                        f"{_label(seen)} — downgrade lure"),
+            )
+
+
+@register
+class UnexpectedCsaDetector(Detector):
+    """Channel-switch herding: CSA announcements are unauthenticated.
+
+    A genuine channel switch is a rare, short burst of CSA-bearing
+    beacons (the countdown); a lure repeats them indefinitely to drag
+    every client onto the attacker's channel.  Each CSA-bearing
+    beacon/probe-response is one unit of evidence, and the default
+    threshold sits above a genuine countdown's worth.
+    """
+
+    name = "unexpected-CSA"
+    default_threshold = 5.0
+    SWEEP = (1.0, 2.0, 5.0, 10.0, 20.0)
+
+    def observe(self, cap: CapturedFrame) -> Iterator[Detection]:
+        if cap.frame.subtype not in (FrameSubtype.BEACON,
+                                     FrameSubtype.PROBE_RESP):
+            return
+        info = _parse_beacon(cap)
+        if info is None or info.csa is None:
+            return
+        yield Detection(
+            subject=str(cap.frame.addr2),
+            reason=(f"CSA in beacon for {info.ssid!r} on channel "
+                    f"{cap.channel} announcing a switch"),
+        )
 
 
 # ----------------------------------------------------------------------

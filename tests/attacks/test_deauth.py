@@ -97,3 +97,38 @@ def test_deauth_rate_controls_injection_count():
     slow.stop()
     fast.stop()
     assert fast.frames_injected > 4 * slow.frames_injected
+
+
+def test_custom_reason_code_carried_on_the_wire():
+    """aireplay-ng lets the operator pick the reason code; forged
+    frames must carry it verbatim so detectors can fingerprint it."""
+    import struct
+
+    from repro.attacks.sniffer import MonitorSniffer
+    from repro.dot11.frames import FrameSubtype, ReasonCode
+
+    scenario = build_corp_scenario(seed=46, with_rogue=False)
+    victim = scenario.add_victim(position=Position(5.0, 0.0))
+    scenario.sim.run_for(5.0)
+    sniffer = MonitorSniffer(scenario.sim, scenario.medium, Position(0, 3),
+                             channel=1)
+    attacker = DeauthAttacker(
+        scenario.sim, scenario.medium, Position(8.0, 0.0),
+        ap_bssid=scenario.ap.bssid, channel=1,
+        target=victim.wlan.mac, rate_hz=10.0,
+        reason=ReasonCode.CLASS3_FROM_NONASSOC)
+    attacker.start()
+    scenario.sim.run_for(2.0)
+    attacker.stop()
+    reasons = {struct.unpack("<H", bytes(cap.frame.body[:2]))[0]
+               for cap in sniffer.capture.select(subtype=FrameSubtype.DEAUTH)}
+    assert reasons == {int(ReasonCode.CLASS3_FROM_NONASSOC)}
+
+
+@pytest.mark.parametrize("bad_reason", [0, -1, 0x10000])
+def test_out_of_range_reason_code_rejected(bad_reason):
+    scenario = build_corp_scenario(seed=47, with_rogue=False)
+    with pytest.raises(ValueError):
+        DeauthAttacker(scenario.sim, scenario.medium, Position(0, 0),
+                       ap_bssid=scenario.ap.bssid, channel=1,
+                       reason=bad_reason)

@@ -15,7 +15,8 @@ def test_registry_covers_design_index():
     paper = {"FIG1", "FIG2", "FIG3", "E-WEP", "E-MAC", "E-FMS",
              "E-DEAUTH", "E-NETSED", "E-WIRED", "E-VPNOH",
              "E-DETECT", "E-PROM", "E-CNN", "E-8021X"}
-    extensions = {"X-PATH", "X-CONTAIN", "E-WIDS"}
+    extensions = {"X-PATH", "X-CONTAIN", "E-WIDS",
+                  "E-DOWNGRADE", "E-CSA", "E-PMF"}
     assert ids == paper | extensions
 
 

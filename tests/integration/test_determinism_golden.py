@@ -275,3 +275,24 @@ def test_fleet_lineage_samples_identical_serial_vs_parallel():
     assert [ln["seed"] for ln in serial.merged_lineages] == \
         sorted(ln["seed"] for ln in serial.merged_lineages)
     assert plain.lineages == {} and plain.merged_lineages == []
+
+
+def test_fig2_world_matches_committed_digest():
+    """Cross-era pin: the seed-11 FIG2 world, hashed trace-for-trace.
+
+    ``fig2_golden.json`` was generated when ``repro.rsn`` landed and
+    verified bit-identical against the pre-RSN tree, so it proves the
+    RSN/SAE/PMF machinery is invisible until asked for — and from now
+    on it catches *any* change that moves a legacy world.
+    """
+    import hashlib
+    import json
+    from pathlib import Path
+
+    golden = json.loads(
+        (Path(__file__).parent / "fig2_golden.json").read_text())
+    categories, counters = _run_fig2_world(seed=golden["seed"])
+    blob = json.dumps({"categories": categories, "counters": counters},
+                      sort_keys=True, default=str).encode()
+    assert counters["events_dispatched"] == golden["events_dispatched"]
+    assert hashlib.sha256(blob).hexdigest() == golden["sha256"]

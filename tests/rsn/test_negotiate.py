@@ -1,0 +1,106 @@
+"""RSN negotiation matrix: strongest mutual AKM, PMF gating, cipher choice."""
+
+import pytest
+
+from repro.rsn.ie import (
+    AkmSuite,
+    CipherSuite,
+    RsnIe,
+    negotiate,
+)
+
+WPA2 = RsnIe.wpa2()
+WPA3 = RsnIe.wpa3()
+TRANSITION = RsnIe.wpa3_transition()
+SAE_NO_PMF = RsnIe(akms=(int(AkmSuite.SAE),))
+
+
+def test_like_for_like():
+    for posture, akm in ((WPA2, AkmSuite.PSK), (WPA3, AkmSuite.SAE)):
+        sel = negotiate(posture, posture)
+        assert sel is not None
+        assert sel.akm == int(akm)
+        assert sel.pairwise == int(CipherSuite.CCMP)
+
+
+def test_transition_pair_picks_sae():
+    sel = negotiate(TRANSITION, TRANSITION)
+    assert sel.akm == int(AkmSuite.SAE)
+    assert sel.akm_name == "SAE"
+
+
+def test_transition_ap_meets_wpa2_only_client():
+    sel = negotiate(TRANSITION, WPA2)
+    assert sel is not None
+    assert sel.akm == int(AkmSuite.PSK)
+    assert not sel.pmf  # WPA2-only client has no MFPC
+
+
+def test_wpa3_only_ap_rejects_wpa2_only_client():
+    # WPA3-only means PMF required; a plain WPA2 client can't do it
+    # and shares no AKM either.
+    assert negotiate(WPA3, WPA2) is None
+    assert negotiate(WPA2, WPA3) is None
+
+
+def test_missing_ie_means_no_rsn():
+    assert negotiate(None, WPA3) is None
+    assert negotiate(WPA3, None) is None
+    assert negotiate(None, None) is None
+
+
+def test_pmf_required_vs_incapable_fails():
+    require = RsnIe(akms=(int(AkmSuite.SAE),), pmf_capable=True,
+                    pmf_required=True)
+    assert negotiate(require, SAE_NO_PMF) is None
+    assert negotiate(SAE_NO_PMF, require) is None
+
+
+def test_pmf_optional_vs_incapable_negotiates_without_pmf():
+    capable = RsnIe(akms=(int(AkmSuite.SAE),), pmf_capable=True)
+    sel = negotiate(capable, SAE_NO_PMF)
+    assert sel is not None
+    assert not sel.pmf
+
+
+def test_pmf_on_only_when_both_capable():
+    capable = RsnIe(akms=(int(AkmSuite.SAE),), pmf_capable=True)
+    assert negotiate(capable, capable).pmf
+    assert negotiate(WPA3, WPA3).pmf
+
+
+def test_ccmp_preferred_over_tkip():
+    mixed = RsnIe(pairwise=(int(CipherSuite.TKIP), int(CipherSuite.CCMP)),
+                  akms=(int(AkmSuite.PSK),))
+    sel = negotiate(mixed, mixed)
+    assert sel.pairwise == int(CipherSuite.CCMP)
+
+
+def test_tkip_only_intersection():
+    tkip_only = RsnIe(pairwise=(int(CipherSuite.TKIP),),
+                      akms=(int(AkmSuite.PSK),))
+    both = RsnIe(pairwise=(int(CipherSuite.CCMP), int(CipherSuite.TKIP)),
+                 akms=(int(AkmSuite.PSK),))
+    assert negotiate(tkip_only, both).pairwise == int(CipherSuite.TKIP)
+
+
+def test_no_common_cipher_fails():
+    ccmp_only = RsnIe(pairwise=(int(CipherSuite.CCMP),),
+                      akms=(int(AkmSuite.PSK),))
+    tkip_only = RsnIe(pairwise=(int(CipherSuite.TKIP),),
+                      akms=(int(AkmSuite.PSK),))
+    assert negotiate(ccmp_only, tkip_only) is None
+
+
+def test_version_mismatch_fails():
+    future = RsnIe(akms=(int(AkmSuite.PSK),), version=2)
+    assert negotiate(future, WPA2) is None
+
+
+@pytest.mark.parametrize("ap,sta,expected_akm", [
+    (TRANSITION, WPA3, AkmSuite.SAE),
+    (TRANSITION, SAE_NO_PMF, AkmSuite.SAE),
+    (WPA2, TRANSITION, AkmSuite.PSK),
+])
+def test_strongest_mutual_akm(ap, sta, expected_akm):
+    assert negotiate(ap, sta).akm == int(expected_akm)

@@ -1,0 +1,78 @@
+"""PMF (802.11w-style) unit tests: forged deauths fail the MME check."""
+
+from repro.dot11.frames import ReasonCode, make_deauth, make_disassoc
+from repro.dot11.mac import MacAddress
+from repro.rsn.pmf import Mme, derive_igtk, mme_for_frame, verify_mgmt_mic
+
+AP = MacAddress("aa:bb:cc:dd:00:01")
+STA = MacAddress("02:00:00:00:00:17")
+KCK = bytes(range(16))
+IGTK = derive_igtk(KCK)
+
+
+def protected_deauth(igtk=IGTK, ipn=1, *, reason=ReasonCode.UNSPECIFIED):
+    frame = make_deauth(AP, STA, AP, reason=reason, seq=5)
+    mme = mme_for_frame(frame, igtk, ipn)
+    return frame.with_body(frame.body + mme.to_ie().pack())
+
+
+def test_igtk_is_deterministic_and_key_dependent():
+    assert derive_igtk(KCK) == IGTK
+    assert derive_igtk(bytes(16)) != IGTK
+    assert len(IGTK) == 16
+
+
+def test_valid_mme_verifies_and_returns_ipn():
+    assert verify_mgmt_mic(protected_deauth(ipn=7), IGTK, 6) == 7
+
+
+def test_replayed_ipn_rejected():
+    frame = protected_deauth(ipn=7)
+    assert verify_mgmt_mic(frame, IGTK, 7) is None   # equal = replay
+    assert verify_mgmt_mic(frame, IGTK, 12) is None  # stale
+
+
+def test_missing_mme_is_a_forgery():
+    bare = make_deauth(AP, STA, AP, reason=ReasonCode.UNSPECIFIED, seq=5)
+    assert verify_mgmt_mic(bare, IGTK, 0) is None
+
+
+def test_wrong_key_rejected():
+    frame = protected_deauth(igtk=derive_igtk(b"\xee" * 16), ipn=3)
+    assert verify_mgmt_mic(frame, IGTK, 0) is None
+
+
+def test_tampered_reason_breaks_the_mic():
+    frame = protected_deauth(ipn=3, reason=ReasonCode.UNSPECIFIED)
+    body = bytearray(frame.body)
+    body[0] = int(ReasonCode.PREV_AUTH_EXPIRED)
+    assert verify_mgmt_mic(frame.with_body(bytes(body)), IGTK, 0) is None
+
+
+def test_malformed_mme_rejected_not_raised():
+    frame = make_deauth(AP, STA, AP, reason=ReasonCode.UNSPECIFIED, seq=5)
+    # an MME-id IE with a short body parses as garbage, not an exception
+    bad = frame.with_body(frame.body + b"\x4c\x04" + bytes(4))
+    assert verify_mgmt_mic(bad, IGTK, 0) is None
+
+
+def test_disassoc_protected_the_same_way():
+    frame = make_disassoc(AP, STA, AP, reason=ReasonCode.UNSPECIFIED, seq=6)
+    mme = mme_for_frame(frame, IGTK, 2)
+    protected = frame.with_body(frame.body + mme.to_ie().pack())
+    assert verify_mgmt_mic(protected, IGTK, 1) == 2
+
+
+def test_mic_binds_the_addresses():
+    # Same body, same key, different target STA: the MIC must differ,
+    # otherwise one captured kick could be replayed at every client.
+    frame = make_deauth(AP, STA, AP, reason=ReasonCode.UNSPECIFIED, seq=5)
+    other = make_deauth(AP, MacAddress("02:00:00:00:00:18"), AP,
+                        reason=ReasonCode.UNSPECIFIED, seq=5)
+    assert (mme_for_frame(frame, IGTK, 1).mic
+            != mme_for_frame(other, IGTK, 1).mic)
+
+
+def test_mme_wire_roundtrip():
+    mme = Mme(key_id=4, ipn=(1 << 48) - 1, mic=b"\xab" * 8)
+    assert Mme.parse(mme.pack()) == mme

@@ -1,0 +1,106 @@
+"""SAE handshake unit tests: mutual authentication without a PSK on the air."""
+
+import pytest
+
+from repro.crypto.dh import DH_GROUP_1536, DH_GROUP_TOY
+from repro.dot11.mac import MacAddress
+from repro.rsn.sae import SAE_GROUP_IDS, SaeError, SaeParty, sae_container_ie, sae_payload
+from repro.sim.rng import SimRandom
+
+STA = MacAddress("02:00:00:00:00:17")
+AP = MacAddress("aa:bb:cc:dd:00:01")
+
+
+def handshake(pw_sta="hunter2", pw_ap="hunter2", *, group=DH_GROUP_TOY):
+    sta = SaeParty(pw_sta, STA, AP, SimRandom(11), group=group)
+    ap = SaeParty(pw_ap, AP, STA, SimRandom(12), group=group)
+    sta.process_commit(ap.commit_bytes())
+    ap.process_commit(sta.commit_bytes())
+    return sta, ap
+
+
+def test_same_password_yields_shared_pmk():
+    sta, ap = handshake()
+    assert ap.process_confirm(sta.confirm_bytes())
+    assert sta.process_confirm(ap.confirm_bytes())
+    assert sta.confirmed and ap.confirmed
+    assert sta.pmk == ap.pmk
+    assert len(sta.pmk) == 32
+
+
+def test_full_group_handshake():
+    sta, ap = handshake(group=DH_GROUP_1536)
+    assert ap.process_confirm(sta.confirm_bytes())
+    assert sta.process_confirm(ap.confirm_bytes())
+    assert sta.pmk == ap.pmk
+
+
+def test_wrong_password_fails_at_confirm_not_commit():
+    # Commits exchange fine (they carry no password proof); the
+    # confirm is where the passwords must match.
+    sta, ap = handshake(pw_sta="hunter2", pw_ap="not-hunter2")
+    assert not ap.process_confirm(sta.confirm_bytes())
+    assert not sta.process_confirm(ap.confirm_bytes())
+    assert not ap.confirmed
+    assert sta.pmk != ap.pmk  # each derives its own, never agreed
+
+
+def test_fresh_rng_yields_fresh_pmk():
+    first_sta, _ = handshake()
+    second = SaeParty("hunter2", STA, AP, SimRandom(99), group=DH_GROUP_TOY)
+    peer = SaeParty("hunter2", AP, STA, SimRandom(100), group=DH_GROUP_TOY)
+    second.process_commit(peer.commit_bytes())
+    assert second.pmk != first_sta.pmk
+
+
+def test_group_mismatch_rejected():
+    sta = SaeParty("pw", STA, AP, SimRandom(1), group=DH_GROUP_TOY)
+    ap = SaeParty("pw", AP, STA, SimRandom(2), group=DH_GROUP_1536)
+    with pytest.raises(SaeError, match="group mismatch"):
+        # toy32 commit is far shorter than modp1536's, so length trips
+        # first on one side; test the direction where lengths align
+        # with the group-id check by padding to the expected size.
+        ap.process_commit(sta.commit_bytes()
+                          + bytes(2 + 192 - len(sta.commit_bytes())))
+
+
+def test_wrong_length_commit_rejected():
+    sta, _ = handshake()
+    fresh = SaeParty("pw", AP, STA, SimRandom(3), group=DH_GROUP_TOY)
+    with pytest.raises(SaeError, match="wrong length"):
+        fresh.process_commit(sta.commit_bytes() + b"\x00")
+
+
+def test_degenerate_element_rejected():
+    fresh = SaeParty("pw", AP, STA, SimRandom(4), group=DH_GROUP_TOY)
+    group_id = SAE_GROUP_IDS[DH_GROUP_TOY.name].to_bytes(2, "little")
+    element_len = (DH_GROUP_TOY.p.bit_length() + 7) // 8
+    for bad in (0, 1, DH_GROUP_TOY.p - 1):
+        with pytest.raises(SaeError, match="degenerate"):
+            fresh.process_commit(group_id + bad.to_bytes(element_len, "big"))
+
+
+def test_confirm_before_commit_raises():
+    fresh = SaeParty("pw", STA, AP, SimRandom(5), group=DH_GROUP_TOY)
+    with pytest.raises(SaeError, match="before processing"):
+        fresh.confirm_bytes()
+    assert fresh.process_confirm(b"\x00" * 12) is False
+
+
+def test_truncated_confirm_rejected():
+    sta, ap = handshake()
+    assert not ap.process_confirm(sta.confirm_bytes()[:-1])
+
+
+def test_container_ie_roundtrip():
+    payload = b"\x05\x00" + bytes(16)
+    ie = sae_container_ie(payload)
+    assert sae_payload([ie]) == payload
+    assert sae_payload([]) is None
+
+
+def test_unknown_group_has_no_wire_id():
+    from repro.crypto.dh import DhGroup
+    weird = DhGroup(p=23, g=5, name="toy5bit")
+    with pytest.raises(SaeError, match="no wire id"):
+        SaeParty("pw", STA, AP, SimRandom(6), group=weird)

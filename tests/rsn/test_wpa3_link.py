@@ -1,0 +1,136 @@
+"""WPA3/RSN over the air: SAE association, PMF enforcement, downgrades."""
+
+from repro.crypto.wpa_kdf import psk_from_passphrase
+from repro.dot11.mac import MacAddress
+from repro.hosts.access_point import AccessPoint
+from repro.hosts.station import Station
+from repro.netstack.ethernet import Switch
+from repro.radio.medium import Medium
+from repro.radio.propagation import Position
+from repro.rsn.ie import RsnIe
+from repro.sim.kernel import Simulator
+from tests.conftest import make_wired_host
+
+BSSID = MacAddress("aa:bb:cc:dd:00:01")
+PASSPHRASE = "office-passphrase"
+PSK = psk_from_passphrase(PASSPHRASE, "CORP")
+
+
+def build_bss(seed=1, *, rsn, sae_password=None, wpa_psk=None):
+    sim = Simulator(seed=seed)
+    medium = Medium(sim)
+    lan = Switch(sim, "lan")
+    ap = AccessPoint(sim, medium, "ap", bssid=BSSID, ssid="CORP",
+                     channel=1, position=Position(0, 0), rsn=rsn,
+                     sae_password=sae_password, wpa_psk=wpa_psk)
+    ap.attach_uplink(lan)
+    server = make_wired_host(sim, lan, "server", "10.0.0.1")
+    return sim, medium, ap, server
+
+
+def connect_victim(sim, medium, *, rsn, sae_password=None, wpa_psk=None,
+                   rsn_strict=True):
+    sta = Station(sim, "sta", medium, Position(10, 0))
+    sta.connect("CORP", rsn=rsn, sae_password=sae_password,
+                wpa_psk=wpa_psk, rsn_strict=rsn_strict, ip="10.0.0.23")
+    sim.run_for(5.0)
+    return sta
+
+
+def test_wpa3_sae_association_end_to_end():
+    sim, medium, ap, _ = build_bss(rsn=RsnIe.wpa3(),
+                                   sae_password=PASSPHRASE)
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa3(),
+                         sae_password=PASSPHRASE)
+    assert sta.wlan.associated
+    assert sta.wlan.link_ready
+    assert sta.wlan.negotiated_akm == "SAE"
+    assert sta.wlan.pmf_active
+    assert sta.wlan.link_encrypted
+    rtts = []
+    sta.ping("10.0.0.1", on_reply=rtts.append)
+    sim.run_for(3.0)
+    assert len(rtts) == 1
+
+
+def test_wrong_sae_password_never_associates():
+    sim, medium, ap, _ = build_bss(rsn=RsnIe.wpa3(),
+                                   sae_password=PASSPHRASE)
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa3(),
+                         sae_password="not-the-passphrase")
+    assert not sta.wlan.associated
+    assert not sta.wlan.link_ready
+
+
+def test_wpa2_rsn_association_uses_psk_akm():
+    sim, medium, ap, _ = build_bss(rsn=RsnIe.wpa2(), wpa_psk=PSK)
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa2(), wpa_psk=PSK)
+    assert sta.wlan.associated and sta.wlan.link_ready
+    assert sta.wlan.negotiated_akm == "PSK"
+    assert not sta.wlan.pmf_active
+
+
+def test_transition_ap_serves_both_generations():
+    sim, medium, ap, _ = build_bss(rsn=RsnIe.wpa3_transition(),
+                                   sae_password=PASSPHRASE, wpa_psk=PSK)
+    modern = Station(sim, "modern", medium, Position(10, 0))
+    modern.connect("CORP", rsn=RsnIe.wpa3_transition(),
+                   sae_password=PASSPHRASE, wpa_psk=PSK, ip="10.0.0.23")
+    legacy = Station(sim, "legacy", medium, Position(-10, 0))
+    legacy.connect("CORP", rsn=RsnIe.wpa2(), wpa_psk=PSK, ip="10.0.0.24")
+    sim.run_for(6.0)
+    assert modern.wlan.negotiated_akm == "SAE"
+    assert legacy.wlan.negotiated_akm == "PSK"
+    assert modern.wlan.link_ready and legacy.wlan.link_ready
+
+
+def test_strict_rsn_client_refuses_open_ap():
+    sim = Simulator(seed=7)
+    medium = Medium(sim)
+    AccessPoint(sim, medium, "ap", bssid=BSSID, ssid="CORP", channel=1,
+                position=Position(0, 0))  # open, no RSN
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa3(),
+                         sae_password=PASSPHRASE, rsn_strict=True)
+    assert not sta.wlan.associated
+
+
+def test_non_strict_client_falls_back_to_open():
+    sim = Simulator(seed=8)
+    medium = Medium(sim)
+    AccessPoint(sim, medium, "ap", bssid=BSSID, ssid="CORP", channel=1,
+                position=Position(0, 0))
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa3(),
+                         sae_password=PASSPHRASE, rsn_strict=False)
+    assert sta.wlan.associated
+    assert sta.wlan.negotiated_akm is None
+    assert not sta.wlan.link_encrypted
+
+
+def test_legitimate_pmf_deauth_still_honored():
+    """PMF rejects forgeries, not the AP's own (MME-carrying) kicks."""
+    sim, medium, ap, _ = build_bss(rsn=RsnIe.wpa3(),
+                                   sae_password=PASSPHRASE)
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa3(),
+                         sae_password=PASSPHRASE)
+    assert sta.wlan.associated and sta.wlan.pmf_active
+    ap.core.deauth_client(sta.wlan.mac)
+    sim.run_for(0.5)
+    assert sta.wlan.pmf_discards == 0
+    assert not sta.wlan.link_ready  # the kick landed
+
+
+def test_forged_deauth_discarded_under_pmf():
+    from repro.attacks.deauth import DeauthAttacker
+    sim, medium, ap, _ = build_bss(rsn=RsnIe.wpa3(),
+                                   sae_password=PASSPHRASE)
+    sta = connect_victim(sim, medium, rsn=RsnIe.wpa3(),
+                         sae_password=PASSPHRASE)
+    attacker = DeauthAttacker(sim, medium, Position(12, 0),
+                              ap_bssid=BSSID, channel=1,
+                              target=sta.wlan.mac, rate_hz=10.0)
+    attacker.start()
+    sim.run_for(3.0)
+    attacker.stop()
+    assert sta.wlan.pmf_discards > 0
+    assert sta.wlan.associated and sta.wlan.link_ready
+    assert sta.wlan.associations == 1

@@ -38,7 +38,8 @@ def _detections(detector, caps):
 def test_registry_names_and_order():
     # Registration order is load order — determinism depends on it.
     assert list(DETECTORS) == ["seqctl", "fingerprint", "multichannel",
-                               "beacon-jitter", "deauth-flood"]
+                               "beacon-jitter", "deauth-flood",
+                               "rsn-mismatch", "unexpected-CSA"]
 
 
 def test_register_rejects_duplicates_and_anonymous():

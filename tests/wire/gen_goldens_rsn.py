@@ -1,0 +1,29 @@
+"""Regenerate tests/wire/golden_vectors_rsn.json from the current codecs.
+
+The RSN golden set pins the wire formats introduced with ``repro.rsn``
+(RSN/CSA/MME/vendor elements and the RSN-bearing management frames).
+Only run this to *add* vectors — diff the result; existing hex strings
+must not change.  ``golden_vectors.json`` (the seed-era set) has its
+own generator and stays frozen.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from tests.wire.vectors_rsn import build_rsn_vectors  # noqa: E402
+
+
+def main() -> None:
+    dest = os.path.join(os.path.dirname(__file__), "golden_vectors_rsn.json")
+    goldens = {v.key: v.encode().hex() for v in build_rsn_vectors()}
+    with open(dest, "w") as fh:
+        json.dump(goldens, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(goldens)} vectors to {dest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Byte-stability pins for the ``repro.rsn`` wire formats.
+
+Parallel to ``test_goldens.py`` but over its own golden file:
+``golden_vectors_rsn.json`` was generated when ``repro.rsn`` landed
+and pins the RSN/CSA/MME/vendor codecs and the RSN-bearing management
+frames.  The seed-era ``golden_vectors.json`` remains frozen and
+untouched by this set.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.wire.vectors import Vector
+from tests.wire.vectors_rsn import build_rsn_vectors
+
+GOLDENS = json.loads(
+    (Path(__file__).parent / "golden_vectors_rsn.json").read_text())
+VECTORS = build_rsn_vectors()
+
+
+def test_every_vector_has_a_golden_and_vice_versa():
+    assert sorted(v.key for v in VECTORS) == sorted(GOLDENS)
+
+
+@pytest.mark.parametrize("vector", VECTORS, ids=lambda v: v.key)
+def test_encode_matches_pinned_bytes(vector: Vector):
+    assert vector.encode().hex() == GOLDENS[vector.key]
+
+
+@pytest.mark.parametrize(
+    "vector", [v for v in VECTORS if v.decode_check is not None],
+    ids=lambda v: v.key)
+def test_pinned_bytes_decode_to_original_object(vector: Vector):
+    vector.decode_check(bytes.fromhex(GOLDENS[vector.key]))
+
+
+@pytest.mark.parametrize(
+    "vector", [v for v in VECTORS if v.decode_check is not None],
+    ids=lambda v: v.key)
+def test_pinned_bytes_decode_from_memoryview(vector: Vector):
+    """Zero-copy contract: decoders accept memoryviews, same result."""
+    vector.decode_check(memoryview(bytes.fromhex(GOLDENS[vector.key])))

@@ -1,0 +1,141 @@
+"""Hypothesis properties for the ``repro.rsn`` codecs.
+
+Same two families as ``test_roundtrip_properties.py``, scoped to the
+RSN wire formats: ``parse(pack(x)) == x`` over the generated field
+space, and every truncation of a valid encoding raises
+:class:`ProtocolError` (never returns garbage, never raises anything
+else).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rsn.ie import AkmSuite, CipherSuite, CsaIe, RsnIe, VendorIe
+from repro.rsn.pmf import MME_LEN, Mme
+from repro.sim.errors import ProtocolError
+
+ciphers = st.sampled_from([int(c) for c in CipherSuite])
+akms = st.sampled_from([int(a) for a in AkmSuite])
+
+
+@st.composite
+def rsn_ies(draw):
+    # MFPR without MFPC is invalid per 802.11 and pack() normalizes it
+    # away, so only generate required => capable combinations.
+    pmf_required = draw(st.booleans())
+    pmf_capable = pmf_required or draw(st.booleans())
+    return RsnIe(
+        group_cipher=draw(ciphers),
+        pairwise=tuple(draw(st.lists(ciphers, min_size=1, max_size=4,
+                                     unique=True))),
+        akms=tuple(draw(st.lists(akms, min_size=1, max_size=3,
+                                 unique=True))),
+        pmf_capable=pmf_capable,
+        pmf_required=pmf_required,
+    )
+
+
+csa_ies = st.builds(CsaIe,
+                    new_channel=st.integers(min_value=1, max_value=14),
+                    count=st.integers(min_value=0, max_value=255),
+                    mode=st.integers(min_value=0, max_value=1))
+vendor_ies = st.builds(VendorIe,
+                       oui=st.binary(min_size=3, max_size=3),
+                       data=st.binary(max_size=64))
+mmes = st.builds(Mme,
+                 key_id=st.integers(min_value=0, max_value=0xFFFF),
+                 ipn=st.integers(min_value=0, max_value=(1 << 48) - 1),
+                 mic=st.binary(min_size=8, max_size=8))
+
+
+# ----------------------------------------------------------------------
+# round-trips
+# ----------------------------------------------------------------------
+@given(rsn_ies())
+def test_rsn_ie_roundtrip(ie):
+    assert RsnIe.parse(ie.pack()) == ie
+
+
+@given(rsn_ies())
+def test_rsn_ie_roundtrip_via_information_element(ie):
+    assert RsnIe.from_ie(ie.to_ie()) == ie
+
+
+@given(csa_ies)
+def test_csa_roundtrip(csa):
+    assert CsaIe.parse(csa.pack()) == csa
+
+
+@given(vendor_ies)
+def test_vendor_roundtrip(vendor):
+    assert VendorIe.parse(vendor.pack()) == vendor
+
+
+@given(mmes)
+def test_mme_roundtrip(mme):
+    assert Mme.parse(mme.pack()) == mme
+
+
+@given(rsn_ies())
+def test_rsn_parse_accepts_memoryview(ie):
+    assert RsnIe.parse(memoryview(ie.pack())) == ie
+
+
+# ----------------------------------------------------------------------
+# truncations: every proper prefix must raise ProtocolError
+# ----------------------------------------------------------------------
+@given(rsn_ies(), st.data())
+def test_truncated_rsn_ie_raises(ie, data):
+    raw = ie.pack()
+    cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    with pytest.raises(ProtocolError):
+        RsnIe.parse(raw[:cut])
+
+
+@given(csa_ies, st.data())
+def test_truncated_csa_raises(csa, data):
+    raw = csa.pack()
+    cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    with pytest.raises(ProtocolError):
+        CsaIe.parse(raw[:cut])
+
+
+@given(vendor_ies)
+def test_truncated_vendor_raises(vendor):
+    with pytest.raises(ProtocolError):
+        VendorIe.parse(vendor.pack()[:2])  # shorter than the 3-byte OUI
+
+
+@given(mmes, st.data())
+def test_truncated_mme_raises(mme, data):
+    raw = mme.pack()
+    cut = data.draw(st.integers(min_value=0, max_value=MME_LEN - 1))
+    with pytest.raises(ProtocolError):
+        Mme.parse(raw[:cut])
+
+
+# ----------------------------------------------------------------------
+# malformed (non-truncation) rejections
+# ----------------------------------------------------------------------
+@given(rsn_ies())
+def test_rsn_ie_tolerates_trailing_optional_fields(ie):
+    # Real RSN IEs may append PMKID count/list and a group-management
+    # cipher after the capabilities; the parser ignores what it does
+    # not model rather than rejecting the element.
+    assert RsnIe.parse(ie.pack() + b"\x00\x00") == ie
+
+
+@given(csa_ies)
+def test_csa_trailing_garbage_raises(csa):
+    with pytest.raises(ProtocolError):
+        CsaIe.parse(csa.pack() + b"\xff")
+
+
+def test_rsn_ie_bad_oui_raises():
+    raw = bytearray(RsnIe.wpa2().pack())
+    raw[2:5] = b"\x00\x50\xf2"  # WPA1 vendor OUI, not 00-0F-AC
+    with pytest.raises(ProtocolError):
+        RsnIe.parse(bytes(raw))

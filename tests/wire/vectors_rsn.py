@@ -1,0 +1,103 @@
+"""Golden-vector builders for the ``repro.rsn`` wire formats.
+
+A *separate* vector set with its own golden file
+(``golden_vectors_rsn.json``): the original ``golden_vectors.json`` is
+frozen — it proves the seed-era codecs never changed — while this file
+pins the RSN/CSA/MME/vendor formats and the RSN-bearing management
+frames introduced with ``repro.rsn``.  Same rule applies from now on:
+regenerate only to *add* vectors, never to paper over a byte change.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/wire/gen_goldens_rsn.py
+"""
+
+from __future__ import annotations
+
+from repro.dot11.frames import (
+    AuthAlgorithm,
+    ReasonCode,
+    make_assoc_request,
+    make_auth,
+    make_beacon,
+    make_deauth,
+    make_probe_response,
+)
+from repro.dot11.mac import MacAddress
+from repro.rsn.ie import AkmSuite, CipherSuite, CsaIe, RsnIe, VendorIe
+from repro.rsn.pmf import Mme
+from repro.rsn.sae import sae_container_ie
+from tests.wire.vectors import MAC_A, MAC_AP, Vector, _eq
+
+__all__ = ["build_rsn_vectors"]
+
+
+def build_rsn_vectors() -> list[Vector]:
+    out: list[Vector] = []
+
+    # ------------------------------------------------------------------
+    # RSN IE: the three standard postures plus a kitchen-sink config
+    # ------------------------------------------------------------------
+    for label, ie in (("wpa2", RsnIe.wpa2()),
+                      ("wpa3", RsnIe.wpa3()),
+                      ("wpa3-transition", RsnIe.wpa3_transition())):
+        out.append(Vector(f"rsn.ie-{label}", ie.pack,
+                          lambda raw, ie=ie: _eq(ie)(RsnIe.parse(raw))))
+    kitchen = RsnIe(group_cipher=int(CipherSuite.TKIP),
+                    pairwise=(int(CipherSuite.CCMP), int(CipherSuite.TKIP)),
+                    akms=(int(AkmSuite.SAE), int(AkmSuite.IEEE_8021X),
+                          int(AkmSuite.PSK)),
+                    pmf_capable=True, pmf_required=False)
+    out.append(Vector("rsn.ie-mixed-suites", kitchen.pack,
+                      lambda raw: _eq(kitchen)(RsnIe.parse(raw))))
+
+    # ------------------------------------------------------------------
+    # CSA / vendor / MME elements
+    # ------------------------------------------------------------------
+    csa = CsaIe(new_channel=6, count=3, mode=1)
+    out.append(Vector("rsn.csa", csa.pack,
+                      lambda raw: _eq(csa)(CsaIe.parse(raw))))
+    csa_now = CsaIe(new_channel=11, count=0, mode=0)
+    out.append(Vector("rsn.csa-immediate", csa_now.pack,
+                      lambda raw: _eq(csa_now)(CsaIe.parse(raw))))
+    vendor = VendorIe(b"\x00\x0f\xac", b"\x53payload-bytes")
+    out.append(Vector("rsn.vendor", vendor.pack,
+                      lambda raw: _eq(vendor)(VendorIe.parse(raw))))
+    mme = Mme(key_id=4, ipn=0x0000DEADBEEF, mic=bytes(range(8)))
+    out.append(Vector("rsn.mme", mme.pack,
+                      lambda raw: _eq(mme)(Mme.parse(raw))))
+
+    # ------------------------------------------------------------------
+    # RSN-bearing management frames (extra_ies carriage)
+    # ------------------------------------------------------------------
+    wpa3 = RsnIe.wpa3()
+    out.append(Vector(
+        "rsn.beacon-wpa3",
+        lambda: make_beacon(MAC_AP, "CORP", 1, privacy=True, seq=7,
+                            extra_ies=[wpa3.to_ie()]).to_bytes()))
+    out.append(Vector(
+        "rsn.beacon-wpa3-csa",
+        lambda: make_beacon(MAC_AP, "CORP", 1, privacy=True, seq=8,
+                            extra_ies=[wpa3.to_ie(), csa.to_ie()]).to_bytes()))
+    out.append(Vector(
+        "rsn.probe-resp-wpa3",
+        lambda: make_probe_response(MAC_AP, MAC_A, "CORP", 1, privacy=True,
+                                    seq=9,
+                                    extra_ies=[wpa3.to_ie()]).to_bytes()))
+    out.append(Vector(
+        "rsn.assoc-req-wpa3",
+        lambda: make_assoc_request(MAC_A, MAC_AP, "CORP", privacy=True,
+                                   seq=10,
+                                   extra_ies=[wpa3.to_ie()]).to_bytes()))
+    out.append(Vector(
+        "rsn.auth-sae-commit",
+        lambda: make_auth(MAC_A, MAC_AP, MAC_AP,
+                          algorithm=AuthAlgorithm.SAE, txn=1, seq=11,
+                          extra_ies=[sae_container_ie(
+                              b"\x05\x00" + bytes(16))]).to_bytes()))
+    out.append(Vector(
+        "rsn.deauth-with-mme",
+        lambda: make_deauth(MAC_AP, MAC_A, MAC_AP,
+                            reason=ReasonCode.CLASS3_FROM_NONASSOC, seq=12,
+                            extra_ies=[mme.to_ie()]).to_bytes()))
+    return out
