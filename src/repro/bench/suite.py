@@ -19,6 +19,10 @@ One registration per claim the repo has shipped:
   in the environment capture; a 1-core box legitimately reports <1);
 * ``wids/eval_alerts_per_s`` — PR 4's full E-WIDS evaluation, the
   sustained-throughput discipline the WIDS survey calls for;
+* ``wids/correlator_alerts_per_s``, ``wids/shard_merge_alerts_per_s``
+  — PR 10's alert-storm ingest path, unsharded and through the 4-way
+  sharded correlator + ``open_seq`` merge (digest cross-checked
+  against the serial run every time);
 * ``trace/overhead_ratio`` — PR 3's flight recorder must stay a small
   multiple of an unrecorded run (lower is better);
 * ``fleet/open_loop_sessions_per_s``, ``telemetry/snapshot_export_per_s``
@@ -407,6 +411,64 @@ def wids_eval_throughput(scale: float = 1.0) -> BenchSample:
                  "benign_false_positives": result["benign_false_positives"],
                  "unhideable": result["evasion"]["unhideable"],
                  "scorecard_rows": len(result["scorecard"]["rows"])})
+
+
+@register("wids", "correlator_alerts_per_s", unit="alerts/s",
+          higher_is_better=True)
+def wids_correlator_throughput(scale: float = 1.0) -> BenchSample:
+    """Evidence events/second through ``AlertCorrelator.ingest``.
+
+    A pre-built synthetic alert storm (hot subjects hammering the
+    open-alert update path, 5% churn growing the evidence map) is fed
+    through one unsharded correlator; only the ingest loop is timed.
+    """
+    from repro.wids.correlate import AlertCorrelator
+    from repro.wids.storm import alert_storm, storm_digest
+
+    n = _scaled(1_000_000, scale, 100_000)
+    events = alert_storm(n, subjects=64, detectors=4, churn=0.05, seed=7)
+    correlator = AlertCorrelator()
+    ingest = correlator.ingest
+    t0 = time.perf_counter()
+    for detector, threshold, detection, t, trace_id, band in events:
+        ingest(detector, threshold, detection, t, trace_id, band=band)
+    elapsed = time.perf_counter() - t0
+    digest = storm_digest(correlator)
+    return BenchSample(value=n / elapsed,
+                       payload={"events": n, **digest})
+
+
+@register("wids", "shard_merge_alerts_per_s", unit="alerts/s",
+          higher_is_better=True)
+def wids_shard_merge_throughput(scale: float = 1.0) -> BenchSample:
+    """The same storm through a 4-way ``ShardedCorrelator`` + ``merge``.
+
+    Times the full sharded path — route, per-shard ingest, and the
+    final ``open_seq`` k-way merge — and cross-checks the digest
+    against the unsharded run (the merge law, enforced every bench
+    run).
+    """
+    from repro.wids.correlate import AlertCorrelator, ShardedCorrelator
+    from repro.wids.storm import alert_storm, run_storm, storm_digest
+
+    n = _scaled(1_000_000, scale, 100_000)
+    events = alert_storm(n, subjects=64, detectors=4, churn=0.05, seed=7)
+    sharded = ShardedCorrelator(shards=4)
+    ingest = sharded.ingest
+    t0 = time.perf_counter()
+    for detector, threshold, detection, t, trace_id, band in events:
+        ingest(detector, threshold, detection, t, trace_id, band=band)
+    merged = sharded.merge()
+    elapsed = time.perf_counter() - t0
+    digest = storm_digest(sharded)
+    serial_digest = storm_digest(run_storm(AlertCorrelator(), events))
+    if digest != serial_digest:
+        raise AssertionError(
+            "sharded merge law violated: sharded and serial correlators "
+            "disagree on the same storm")
+    return BenchSample(value=n / elapsed,
+                       payload={"events": n, "shards": 4,
+                                "merged_alerts": len(merged), **digest})
 
 
 # --------------------------------------------------------------------------

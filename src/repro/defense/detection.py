@@ -1,27 +1,15 @@
-"""Deprecated location: sequence-control monitoring moved to the WIDS.
+"""Tombstone: ``repro.defense.detection`` was removed.
 
-The §2.3 :class:`SeqCtlMonitor` now lives in
-:mod:`repro.wids.detectors`, where it is the first entry of the
-pluggable detector registry alongside its streaming counterpart
-(:class:`repro.wids.detectors.SeqCtlAnomalyDetector`) and the rest of
-the rogue-AP detector bank.
-
-This module remains as a thin re-export shim so existing imports keep
-working; new code should import from :mod:`repro.wids.detectors` (or
-:mod:`repro.wids`) directly.
+The §2.3 sequence-control analyser moved to :mod:`repro.wids.detectors`
+in PR 4; this path spent five PRs as a ``DeprecationWarning`` re-export
+shim and was retired in PR 10.  Importing it now fails loudly (below)
+instead of silently aging further — the error names the new home so a
+stale import is a one-line fix.
 """
 
-from __future__ import annotations
-
-import warnings
-
-from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict
-
-__all__ = ["SeqCtlMonitor", "SpoofVerdict"]
-
-warnings.warn(
-    "repro.defense.detection is deprecated; import SeqCtlMonitor and "
-    "SpoofVerdict from repro.wids.detectors instead",
-    DeprecationWarning,
-    stacklevel=2,
+raise ImportError(
+    "repro.defense.detection was removed: SeqCtlMonitor and SpoofVerdict "
+    "live in repro.wids.detectors (also re-exported by repro.defense and "
+    "repro.wids). Update the import, e.g. "
+    "`from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict`."
 )

@@ -16,8 +16,9 @@ from functools import reduce as _functools_reduce
 from typing import Any, Dict, Optional, TypeVar
 
 from repro.core.campaign import TrialStats
+from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["campaign_stats", "merge_all"]
+__all__ = ["campaign_stats", "merge_all", "merge_snapshots"]
 
 M = TypeVar("M")
 
@@ -25,6 +26,24 @@ M = TypeVar("M")
 def merge_all(first: M, *rest: M) -> M:
     """Fold any mergeable accumulators (objects with ``merge``) into the first."""
     return _functools_reduce(lambda acc, part: acc.merge(part), rest, first)
+
+
+def merge_snapshots(
+    snapshots: Dict[int, dict]) -> Optional[MetricsRegistry]:
+    """Fold per-seed registry snapshots into one registry, in seed order.
+
+    The metrics counterpart of :func:`campaign_stats`: whatever order the
+    snapshots were *produced* in, the fold walks seeds ascending, so the
+    merged registry is bit-identical to a serial accumulation — the fleet
+    merge law.  Shared by :attr:`CampaignResult.merged_metrics` and the
+    arms-race campaign's per-generation reduction.  ``None`` when empty.
+    """
+    if not snapshots:
+        return None
+    merged = MetricsRegistry()
+    for seed in sorted(snapshots):
+        merged.merge(MetricsRegistry.from_snapshot(snapshots[seed]))
+    return merged
 
 
 def _is_numeric(value: Any) -> bool:

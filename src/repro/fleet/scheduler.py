@@ -105,12 +105,8 @@ class CampaignResult:
         numeric results.  ``None`` when the campaign collected no
         metrics.
         """
-        if not self.metrics:
-            return None
-        merged = MetricsRegistry()
-        for seed in sorted(self.metrics):
-            merged.merge(MetricsRegistry.from_snapshot(self.metrics[seed]))
-        return merged
+        from repro.fleet.reduce import merge_snapshots
+        return merge_snapshots(self.metrics)
 
     @property
     def merged_lineages(self) -> List[dict]:

@@ -52,7 +52,8 @@ from repro.sim.kernel import Simulator
 from repro.wids.engine import WidsEngine
 from repro.wids.evaluation import GroundTruth, Scorecard, evaluate
 
-__all__ = ["exp_csa_lure", "exp_downgrade", "exp_pmf_flood"]
+__all__ = ["exp_csa_lure", "exp_downgrade", "exp_pmf_flood",
+           "run_downgrade_world"]
 
 SSID = "CORP"
 LEGIT_BSSID = MacAddress("aa:bb:cc:dd:00:01")
@@ -197,9 +198,16 @@ def exp_pmf_flood(seed: int = 1) -> dict:
 # E-DOWNGRADE — transition-mode coercion
 # ----------------------------------------------------------------------
 
-def _downgrade_world(seed: int, *, mode: Optional[str],
-                     registry: MetricsRegistry) -> dict:
-    """``mode``: None = benign, "wpa2" or "open" = rogue posture."""
+def run_downgrade_world(seed: int, *, mode: Optional[str]):
+    """Build and run one WPA3-downgrade world *without* scoring it.
+
+    ``mode``: None = benign, "wpa2" or "open" = rogue posture.  Returns
+    ``(world, summary)`` — the finished :class:`RsnWorld` (its sniffer
+    capture ready for any evaluation pass) and the world summary dict
+    with the coercion outcome fields.  :func:`exp_downgrade` and the
+    arms-race RSN-downgrade genome share this runner; only the scoring
+    differs (fixed registry vs. adaptive-threshold crossings).
+    """
     strict = mode != "open"
     world = _build_world(
         seed,
@@ -219,12 +227,19 @@ def _downgrade_world(seed: int, *, mode: Optional[str],
     world.sim.run_for(8.0)
     _ping_probe(world, every_s=1.0, count=5)
     world.sim.run_for(6.0)
+    summary = world.world_summary()
+    summary["on_rogue_channel"] = summary["channel"] == ROGUE_CHANNEL
+    summary["rogue_client_count"] = len(rogue.victims) if rogue else 0
+    return world, summary
+
+
+def _downgrade_world(seed: int, *, mode: Optional[str],
+                     registry: MetricsRegistry) -> dict:
+    """``mode``: None = benign, "wpa2" or "open" = rogue posture."""
+    world, out = run_downgrade_world(seed, mode=mode)
     evaluate(world.sniffer.capture,
              GroundTruth(rogue_present=mode is not None, attack_start_s=0.0),
              registry=registry)
-    out = world.world_summary()
-    out["on_rogue_channel"] = out["channel"] == ROGUE_CHANNEL
-    out["rogue_client_count"] = len(rogue.victims) if rogue else 0
     return out
 
 

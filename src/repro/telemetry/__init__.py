@@ -24,7 +24,7 @@ campaign engine (:mod:`repro.fleet`) into a long-running service:
 DESIGN.md §14 describes the architecture and its invariants.
 """
 
-from repro.telemetry.daemon import CampaignDaemon, LiveStore
+from repro.telemetry.daemon import CampaignDaemon, LiveStore, MetricsExporter
 from repro.telemetry.prometheus import parse_exposition, render_exposition
 from repro.telemetry.scorecard import LatencyScorecard
 from repro.telemetry.sessions import OpenLoopSessions
@@ -37,6 +37,7 @@ __all__ = [
     "JsonlWriter",
     "LatencyScorecard",
     "LiveStore",
+    "MetricsExporter",
     "OpenLoopSessions",
     "OpenLoopShard",
     "clear_stop",

@@ -44,7 +44,7 @@ from repro.telemetry.scorecard import LatencyScorecard
 from repro.telemetry.shard import OpenLoopShard, clear_stop, request_stop
 from repro.telemetry.stream import JsonlWriter
 
-__all__ = ["CampaignDaemon", "LiveStore"]
+__all__ = ["CampaignDaemon", "LiveStore", "MetricsExporter"]
 
 
 class LiveStore:
@@ -106,6 +106,57 @@ class _ExportHandler(BaseHTTPRequestHandler):
         pass  # scrapes are not console events
 
 
+class MetricsExporter:
+    """A :class:`LiveStore` served live on ``/metrics`` + ``/healthz``.
+
+    The HTTP half of the daemon, extracted so any campaign — the
+    open-loop daemon, the WIDS arms race — can expose its merged
+    registry to a Prometheus scraper: create (optionally around an
+    existing store), :meth:`start`, feed ``store.update(...)``,
+    :meth:`stop`.  Port ``0`` binds an ephemeral port, read back from
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 store: Optional[LiveStore] = None) -> None:
+        self.host = host
+        self.port = port  # rebound to the real port once the server binds
+        self.store = store if store is not None else LiveStore()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsExporter":
+        store = self.store
+
+        class Handler(_ExportHandler):
+            pass
+
+        Handler.store = store
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-telemetry-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
 class CampaignDaemon:
     """Run an open-loop campaign while exporting live telemetry.
 
@@ -144,8 +195,7 @@ class CampaignDaemon:
         self.linger_s = linger_s
         self.store = LiveStore()
         self.snapshots_seen = 0
-        self._server: Optional[ThreadingHTTPServer] = None
-        self._server_thread: Optional[threading.Thread] = None
+        self._exporter: Optional[MetricsExporter] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -224,28 +274,14 @@ class CampaignDaemon:
                 pass
 
     def _start_server(self) -> None:
-        store = self.store
-
-        class Handler(_ExportHandler):
-            pass
-
-        Handler.store = store
-        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
-        self._server.daemon_threads = True
-        self.port = self._server.server_address[1]
-        self._server_thread = threading.Thread(
-            target=self._server.serve_forever, kwargs={"poll_interval": 0.1},
-            name="repro-telemetry-http", daemon=True)
-        self._server_thread.start()
+        self._exporter = MetricsExporter(
+            host=self.host, port=self.port, store=self.store).start()
+        self.port = self._exporter.port
 
     def _stop_server(self) -> None:
-        if self._server is not None:
-            self._server.shutdown()
-            self._server.server_close()
-            self._server = None
-        if self._server_thread is not None:
-            self._server_thread.join(timeout=5.0)
-            self._server_thread = None
+        if self._exporter is not None:
+            self._exporter.stop()
+            self._exporter = None
 
     def _linger(self) -> None:
         """Keep the exporter up post-campaign until timeout or stop."""

@@ -14,14 +14,24 @@ Feeds come in two forms: :meth:`WidsEngine.attach` taps any
 the ambient :func:`wids_watch` context observes every medium without
 placing a radio in the world at all (zero-perturbation).
 
+Fleet scale (PR 10): correlation shards by ``(subject, band)``
+(:class:`~repro.wids.correlate.ShardedCorrelator`, merge-law exact),
+evaluation is single-pass with offline threshold derivation, a
+sliding-window ROC retunes thresholds online
+(:mod:`~repro.wids.adaptive`), and the generation-based
+evasion-vs-detection campaign (:mod:`~repro.wids.armsrace`) scores both
+sides on Pareto frontiers.
+
 This package deliberately does **not** import
-:mod:`repro.wids.experiment` here: the radio layer feeds the ambient
-watch, so ``repro.wids`` must stay importable from
-:mod:`repro.radio.medium` without dragging in scenarios.
+:mod:`repro.wids.experiment` or :mod:`repro.wids.armsrace` here: the
+radio layer feeds the ambient watch, so ``repro.wids`` must stay
+importable from :mod:`repro.radio.medium` without dragging in
+scenarios.
 """
 
+from repro.wids.adaptive import AdaptiveThreshold
 from repro.wids.alerts import Alert
-from repro.wids.correlate import AlertCorrelator
+from repro.wids.correlate import AlertCorrelator, ShardedCorrelator
 from repro.wids.detectors import (
     DETECTORS,
     Detection,
@@ -33,10 +43,18 @@ from repro.wids.detectors import (
     register,
 )
 from repro.wids.engine import WidsEngine
-from repro.wids.evaluation import GroundTruth, Scorecard, evaluate
+from repro.wids.evaluation import (
+    GroundTruth,
+    Scorecard,
+    evaluate,
+    evaluate_rescan,
+    evaluate_with_crossings,
+    score_trajectory,
+)
 from repro.wids.runtime import WidsWatch, active_wids, wids_watch
 
 __all__ = [
+    "AdaptiveThreshold",
     "Alert",
     "AlertCorrelator",
     "DETECTORS",
@@ -45,13 +63,17 @@ __all__ = [
     "GroundTruth",
     "Scorecard",
     "SeqCtlMonitor",
+    "ShardedCorrelator",
     "SpoofVerdict",
     "WidsEngine",
     "WidsWatch",
     "active_wids",
     "default_detectors",
     "evaluate",
+    "evaluate_rescan",
+    "evaluate_with_crossings",
     "get_detector_class",
     "register",
+    "score_trajectory",
     "wids_watch",
 ]

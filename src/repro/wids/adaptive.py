@@ -1,0 +1,128 @@
+"""Online threshold tuning: a sliding-window ROC over the eval stream.
+
+A campaign emits one merged ``wids.eval.*`` registry per generation
+(thousands of per-seed registries already reduced in seed order by the
+fleet merge law).  :class:`AdaptiveThreshold` keeps the last ``window``
+of those, folds them into one windowed registry, and re-derives each
+detector's operating threshold from the windowed ROC — the detector
+bank retunes *during* the campaign as the attacker population drifts,
+instead of holding the hand-picked defaults forever.
+
+The operating point is chosen by Youden's J statistic (``tpr - fpr``,
+the vertical distance above the ROC chance line), the standard single-
+number criterion when detection and false alarms are weighted equally.
+Ties break toward the *higher* threshold: same J means the extra
+sensitivity bought nothing, so keep the quieter configuration.
+Detectors with no windowed evidence keep their registry defaults.
+
+Everything here is deterministic — fold order is arrival order, the
+tie-break is total — so a campaign's threshold trajectory is
+reproducible seed-for-seed, serial or parallel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.wids.detectors import DETECTORS
+from repro.wids.evaluation import Scorecard
+
+__all__ = ["AdaptiveThreshold"]
+
+
+class AdaptiveThreshold:
+    """Sliding-window ROC retuner over merged ``wids.eval.*`` registries."""
+
+    def __init__(self, *, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._snapshots: Deque[dict] = deque(maxlen=window)
+        self.window = window
+        self.observed = 0  # total observe() calls, beyond the window too
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def observe(self, registry: Union[MetricsRegistry, dict]) -> None:
+        """Fold one generation's merged eval registry into the window.
+
+        Accepts a live :class:`MetricsRegistry` or its ``snapshot()``
+        dict (what the telemetry stream carries).  Oldest generations
+        fall off the back once the window is full.
+        """
+        snap = (registry.snapshot()
+                if isinstance(registry, MetricsRegistry) else dict(registry))
+        self._snapshots.append(snap)
+        self.observed += 1
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    # ------------------------------------------------------------------
+    # the windowed view
+    # ------------------------------------------------------------------
+    def merged(self) -> MetricsRegistry:
+        """All windowed generations folded in arrival order."""
+        reg = MetricsRegistry()
+        for snap in self._snapshots:
+            reg.merge(MetricsRegistry.from_snapshot(snap))
+        return reg
+
+    def scorecard(self) -> Scorecard:
+        return Scorecard.from_registry(self.merged())
+
+    # ------------------------------------------------------------------
+    # the tuned operating point
+    # ------------------------------------------------------------------
+    def threshold_for(self, detector: str,
+                      card: Optional[Scorecard] = None) -> Optional[float]:
+        """Best windowed threshold for one detector, or ``None`` if no data."""
+        if card is None:
+            card = self.scorecard()
+        points = card.roc(detector)  # (fpr, tpr, threshold), desc threshold
+        if not points:
+            return None
+        best = max(points, key=lambda p: (p[1] - p[0], p[2]))
+        return best[2]
+
+    def thresholds(self) -> Dict[str, float]:
+        """Per-detector operating thresholds for the current window.
+
+        The dict is shaped for
+        ``repro.wids.detectors.default_detectors(thresholds=...)``:
+        every registered detector appears, falling back to its
+        ``default_threshold`` when the window holds no evidence for it.
+        """
+        card = self.scorecard()
+        out: Dict[str, float] = {}
+        for name, cls in DETECTORS.items():
+            tuned = self.threshold_for(name, card)
+            out[name] = tuned if tuned is not None else cls.default_threshold
+        return out
+
+    def operating_points(self) -> List[Tuple[str, float, float, float]]:
+        """``(detector, threshold, tpr, fpr)`` at each tuned point."""
+        card = self.scorecard()
+        points = []
+        for name, threshold in self.thresholds().items():
+            tpr = fpr = 0.0
+            for p_fpr, p_tpr, p_thr in card.roc(name):
+                if p_thr == threshold:
+                    tpr, fpr = p_tpr, p_fpr
+                    break
+            points.append((name, threshold, tpr, fpr))
+        return points
+
+    def to_json_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "generations_seen": self.observed,
+            "generations_windowed": len(self._snapshots),
+            "thresholds": self.thresholds(),
+            "operating_points": [
+                {"detector": d, "threshold": thr, "tpr": tpr, "fpr": fpr}
+                for d, thr, tpr, fpr in self.operating_points()
+            ],
+        }

@@ -1,0 +1,542 @@
+"""The arms race: evasion genomes vs. an adaptively retuned detector bank.
+
+The WIDS survey's missing evaluation, run for real: a *population* of
+attacker configurations (:class:`EvasionGenome` — the PR 4 evasion
+knobs plus the PR 9 RSN-downgrade postures, and one benign genome as
+the false-positive control) plays against the detector registry over
+``generations`` of fleet campaigns.  Each generation:
+
+1. every genome runs ``trials_per_gen`` seeded worlds through
+   :func:`repro.fleet.run_campaign` (serial or process-parallel — the
+   scores are bit-identical either way, pinned by test);
+2. each world is scored once, single-pass, by
+   :func:`~repro.wids.evaluation.evaluate_with_crossings` — confusion
+   cells for every ``SWEEP`` threshold *and* the exact first-alert time
+   at every threshold, so any operating point can be read off later
+   without re-running anything;
+3. the per-seed registries fold in (genome, seed) order into the
+   generation registry (:func:`repro.fleet.reduce.merge_snapshots`
+   — the merge law), which feeds the sliding-window
+   :class:`~repro.wids.adaptive.AdaptiveThreshold`;
+4. the *current* operating thresholds score this generation's
+   detection/compromise/time-to-detect rates, then the window retunes
+   the thresholds for the next generation — detectors adapt mid-
+   campaign, which is the "arms race" in the name.
+
+The output is a :class:`ParetoScorecard`: the defender's
+(detector, threshold) cells as (tpr, fpr, mean-ttd) points with their
+non-dominated frontier, and the attacker genomes as (detection-rate,
+compromise-rate, ttd) points with *their* frontier — which evasions
+are worth their complexity, and which detector configs dominate.
+
+Telemetry rides the PR 8 stream: an optional
+:class:`~repro.telemetry.stream.JsonlWriter` gets meta / per-generation
+``generation`` + ``snapshot`` records / final (so ``replay()``
+reproduces the campaign's merged registry bit-for-bit), and an optional
+:class:`~repro.telemetry.daemon.LiveStore` serves the same view on a
+live ``/metrics`` endpoint via
+:class:`~repro.telemetry.daemon.MetricsExporter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.wids.adaptive import AdaptiveThreshold
+from repro.wids.detectors import DETECTORS
+from repro.wids.evaluation import (GroundTruth, Scorecard, _thr_token,
+                                   evaluate_with_crossings)
+
+__all__ = [
+    "ArmsRaceCampaign",
+    "ArmsRaceResult",
+    "ArmsRaceTrial",
+    "DEFAULT_POPULATION",
+    "EvasionGenome",
+    "ParetoScorecard",
+    "pareto_front",
+]
+
+#: Beacon-scheduler slop for a naive soft-AP rogue (hostap-style TBTT
+#: misses under load) — same figure E-WIDS uses.
+SLOPPY_BEACON_JITTER_S = 0.03
+
+
+# ----------------------------------------------------------------------
+# genomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvasionGenome:
+    """One attacker configuration: which evasion knobs are turned.
+
+    ``rsn_downgrade`` switches the world entirely: instead of the §4
+    corp MITM rogue, the genome runs the PR 9 WPA3-transition downgrade
+    world with the given posture (``"wpa2"`` or ``"open"``).  A genome
+    with ``rogue=False`` is the benign control — its detections are the
+    campaign's false positives.
+    """
+
+    name: str
+    rogue: bool = True
+    mirror_seqctl: bool = False
+    match_beacon_cadence: bool = False
+    beacon_jitter_s: float = 0.0
+    rsn_downgrade: Optional[str] = None  # None | "wpa2" | "open"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "rogue": self.rogue,
+            "mirror_seqctl": self.mirror_seqctl,
+            "match_beacon_cadence": self.match_beacon_cadence,
+            "beacon_jitter_s": self.beacon_jitter_s,
+            "rsn_downgrade": self.rsn_downgrade,
+        }
+
+
+#: The default population: the FP control, the naive §4 rogue, each
+#: evasion knob alone, the full stealth playbook, and both RSN
+#: downgrade postures.
+DEFAULT_POPULATION: Tuple[EvasionGenome, ...] = (
+    EvasionGenome("benign", rogue=False),
+    EvasionGenome("naive", beacon_jitter_s=SLOPPY_BEACON_JITTER_S),
+    EvasionGenome("mirror", mirror_seqctl=True,
+                  beacon_jitter_s=SLOPPY_BEACON_JITTER_S),
+    EvasionGenome("cadence", match_beacon_cadence=True),
+    EvasionGenome("ghost", mirror_seqctl=True, match_beacon_cadence=True),
+    EvasionGenome("downgrade-wpa2", rsn_downgrade="wpa2"),
+    EvasionGenome("downgrade-open", rsn_downgrade="open"),
+)
+
+
+# ----------------------------------------------------------------------
+# the per-seed trial (picklable: fleet workers fork/spawn it)
+# ----------------------------------------------------------------------
+class ArmsRaceTrial:
+    """One genome, one seed, one world — threshold-agnostic by design.
+
+    The trial does *not* need to know the defender's current operating
+    point: the single evaluation pass records the first-crossing time at
+    every ``SWEEP`` threshold, so the campaign scores whatever
+    thresholds the adaptive tuner picked — this generation's or any
+    other — offline from the returned payload.  That is what makes the
+    generation loop cheap: retuning never re-runs a world.
+    """
+
+    def __init__(self, genome: EvasionGenome) -> None:
+        self.genome = genome
+
+    def __call__(self, seed: int) -> dict:
+        if self.genome.rsn_downgrade is not None:
+            capture, truth, compromised = self._run_downgrade(seed)
+        else:
+            capture, truth, compromised = self._run_corp(seed)
+        registry = MetricsRegistry()
+        _, crossings = evaluate_with_crossings(capture, truth,
+                                               registry=registry)
+        return {
+            "genome": self.genome.name,
+            "rogue": self.genome.rogue,
+            "seed": seed,
+            "metrics": registry.snapshot(),
+            # detector -> {thr-token: first alert t or None}
+            "crossings": {
+                det: {_thr_token(thr): t for thr, t in per_thr.items()}
+                for det, per_thr in crossings.items()
+            },
+            "compromised": compromised,
+            "frames": len(capture.frames),
+        }
+
+    def _run_corp(self, seed: int):
+        # Imported lazily: repro.core imports the radio layer which
+        # imports repro.wids — a module-level import would be a cycle.
+        from repro.attacks.sniffer import MonitorSniffer
+        from repro.core.scenario import build_corp_scenario
+        from repro.radio.propagation import Position
+
+        g = self.genome
+        scenario = build_corp_scenario(
+            seed=seed,
+            with_rogue=g.rogue,
+            rogue_mirror_seqctl=g.mirror_seqctl,
+            rogue_beacon_jitter_s=g.beacon_jitter_s,
+            rogue_match_beacon_cadence=g.match_beacon_cadence,
+        )
+        sniffer = MonitorSniffer(scenario.sim, scenario.medium,
+                                 Position(15.0, 5.0))
+        if g.rogue:
+            scenario.arm_download_mitm()
+        victim = scenario.add_victim()
+        scenario.sim.run_for(5.0)
+        outcome = scenario.run_download_experiment(victim)
+        truth = GroundTruth(rogue_present=g.rogue, attack_start_s=0.0)
+        return sniffer.capture, truth, outcome.compromised
+
+    def _run_downgrade(self, seed: int):
+        from repro.rsn.experiment import run_downgrade_world
+
+        world, summary = run_downgrade_world(
+            seed, mode=self.genome.rsn_downgrade)
+        compromised = bool(summary["on_rogue_channel"]
+                           and summary["rogue_client_count"] > 0)
+        truth = GroundTruth(rogue_present=True, attack_start_s=0.0)
+        return world.sniffer.capture, truth, compromised
+
+
+# ----------------------------------------------------------------------
+# Pareto machinery
+# ----------------------------------------------------------------------
+def pareto_front(points: Sequence[dict], *,
+                 maximize: Sequence[str] = (),
+                 minimize: Sequence[str] = ()) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Point ``a`` dominates ``b`` when it is no worse on every objective
+    and strictly better on at least one.  ``None`` values are treated
+    as worst-possible for their objective (a detector that never fires
+    has no time-to-detect — nothing to brag about).
+    """
+    def objective_vector(p: dict) -> List[float]:
+        vec = []
+        for key in maximize:
+            v = p.get(key)
+            vec.append(float("-inf") if v is None else float(v))
+        for key in minimize:
+            v = p.get(key)
+            vec.append(float("-inf") if v is None else -float(v))
+        return vec  # uniformly "bigger is better"
+
+    vectors = [objective_vector(p) for p in points]
+
+    def dominates(a: List[float], b: List[float]) -> bool:
+        return all(x >= y for x, y in zip(a, b)) and any(
+            x > y for x, y in zip(a, b))
+
+    return [i for i, v in enumerate(vectors)
+            if not any(dominates(w, v)
+                       for j, w in enumerate(vectors) if j != i)]
+
+
+class ParetoScorecard:
+    """Both sides of the arms race as scored points + frontiers.
+
+    *Defender points* are every (detector, threshold) cell of the
+    campaign-merged registry: ``tpr`` / ``fpr`` from the confusion
+    counters, ``mean_ttd_s`` averaged over every rogue world whose
+    trajectory crossed that threshold.  The defender frontier maximizes
+    tpr, minimizes fpr and ttd.
+
+    *Attacker points* are the rogue genomes: ``detection_rate`` /
+    ``mean_ttd_s`` at the operating thresholds that scored each
+    generation, ``compromise_rate`` from world outcomes.  The attacker
+    frontier minimizes detection, maximizes compromise and ttd — an
+    evasion that is detected less, compromises more, or buys time
+    dominates one that doesn't.
+    """
+
+    def __init__(self, defender: List[dict], attacker: List[dict],
+                 scorecard: Scorecard) -> None:
+        self.defender = defender
+        self.attacker = attacker
+        self.scorecard = scorecard
+        self.defender_front = pareto_front(
+            defender, maximize=("tpr",), minimize=("fpr", "mean_ttd_s"))
+        self.attacker_front = pareto_front(
+            attacker, maximize=("compromise_rate", "mean_ttd_s"),
+            minimize=("detection_rate",))
+
+    def report(self) -> str:
+        from repro.core.report import format_table  # cycle avoidance
+        def_rows = []
+        for i, p in enumerate(self.defender):
+            def_rows.append([
+                "*" if i in self.defender_front else "",
+                p["detector"], f"{p['threshold']:g}",
+                f"{p['tpr']:.3f}", f"{p['fpr']:.3f}",
+                f"{p['mean_ttd_s']:.3f}" if p["mean_ttd_s"] is not None
+                else "-",
+            ])
+        atk_rows = []
+        for i, p in enumerate(self.attacker):
+            atk_rows.append([
+                "*" if i in self.attacker_front else "",
+                p["genome"],
+                f"{p['detection_rate']:.3f}", f"{p['compromise_rate']:.3f}",
+                f"{p['mean_ttd_s']:.3f}" if p["mean_ttd_s"] is not None
+                else "-",
+                str(p["worlds"]),
+            ])
+        return "\n\n".join([
+            format_table(
+                ["front", "detector", "thr", "tpr", "fpr", "mean_ttd_s"],
+                def_rows, title="defender Pareto (maximize tpr; "
+                                "minimize fpr, ttd)"),
+            format_table(
+                ["front", "genome", "detected", "compromised",
+                 "mean_ttd_s", "worlds"],
+                atk_rows, title="attacker Pareto (minimize detection; "
+                                "maximize compromise, ttd)"),
+        ])
+
+    def to_json_dict(self) -> dict:
+        return {
+            "defender": {
+                "points": self.defender,
+                "front": self.defender_front,
+            },
+            "attacker": {
+                "points": self.attacker,
+                "front": self.attacker_front,
+            },
+            "scorecard": self.scorecard.to_json_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+@dataclass
+class ArmsRaceResult:
+    """Everything a campaign produced, JSON-ready."""
+
+    population: List[dict]
+    generations: List[dict]
+    thresholds_trajectory: List[Dict[str, float]]
+    pareto: ParetoScorecard
+    merged_metrics: MetricsRegistry
+    worlds_run: int = 0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "population": list(self.population),
+            "generations": list(self.generations),
+            "thresholds_trajectory": list(self.thresholds_trajectory),
+            "pareto": self.pareto.to_json_dict(),
+            "metrics": self.merged_metrics.snapshot(),
+            "worlds_run": self.worlds_run,
+        }
+
+
+class ArmsRaceCampaign:
+    """Generations of genomes vs. a self-retuning detector bank.
+
+    Parameters
+    ----------
+    population:
+        The genomes to race (default :data:`DEFAULT_POPULATION`).
+    generations, trials_per_gen:
+        The campaign grid: every genome runs ``trials_per_gen`` seeds
+        per generation; seeds advance per generation so no world is
+        ever replayed (``seed_base + gen * trials_per_gen + i``).
+    workers:
+        Fleet parallelism per :func:`repro.fleet.run_campaign`.
+        Results are bit-identical to ``workers=1`` (merge law).
+    window:
+        Sliding-window size (in generations) for
+        :class:`AdaptiveThreshold`.
+    writer:
+        Optional :class:`~repro.telemetry.stream.JsonlWriter`;
+        receives meta, per-generation ``generation`` + ``snapshot``
+        records, and the final merged registry + Pareto scorecard.
+    store:
+        Optional :class:`~repro.telemetry.daemon.LiveStore` (serve it
+        with :class:`~repro.telemetry.daemon.MetricsExporter`); updated
+        with each generation's registry so ``/metrics`` tracks the
+        campaign live.
+    on_generation:
+        ``callback(record_dict)`` after each generation — progress
+        reporting without polling.
+    """
+
+    def __init__(self, *,
+                 population: Sequence[EvasionGenome] = DEFAULT_POPULATION,
+                 generations: int = 3, trials_per_gen: int = 4,
+                 seed_base: int = 1000, workers: int = 1,
+                 window: int = 4,
+                 writer=None, store=None,
+                 on_generation: Optional[Callable[[dict], None]] = None
+                 ) -> None:
+        if generations < 1 or trials_per_gen < 1:
+            raise ValueError("generations and trials_per_gen must be >= 1")
+        self.population = tuple(population)
+        self.generations = generations
+        self.trials_per_gen = trials_per_gen
+        self.seed_base = seed_base
+        self.workers = workers
+        self.window = window
+        self.writer = writer
+        self.store = store
+        self.on_generation = on_generation
+
+    # ------------------------------------------------------------------
+    def run(self) -> ArmsRaceResult:
+        from repro.fleet import run_campaign  # lazy: scheduler is heavy
+
+        adaptive = AdaptiveThreshold(window=self.window)
+        thresholds: Dict[str, float] = {
+            name: cls.default_threshold for name, cls in DETECTORS.items()}
+        campaign_registry = MetricsRegistry()
+        gen_records: List[dict] = []
+        trajectory: List[Dict[str, float]] = [dict(thresholds)]
+        # Defender ttd accumulation: (detector, thr-token) -> [sum, n]
+        # over every rogue world that crossed.  Fold order is (gen,
+        # genome, seed) — fully deterministic.
+        ttd_sums: Dict[Tuple[str, str], List[float]] = {}
+        # Attacker totals per genome across all generations.
+        attacker_totals: Dict[str, Dict[str, float]] = {
+            g.name: {"worlds": 0, "detected": 0, "compromised": 0,
+                     "ttd_sum": 0.0, "ttd_n": 0}
+            for g in self.population}
+        worlds_run = 0
+
+        if self.writer is not None:
+            self.writer.write_meta(
+                campaign="arms-race",
+                population=[g.to_dict() for g in self.population],
+                generations=self.generations,
+                trials_per_gen=self.trials_per_gen,
+                seed_base=self.seed_base, workers=self.workers,
+                window=self.window)
+
+        for gen in range(self.generations):
+            seed_base = self.seed_base + gen * self.trials_per_gen
+            gen_registry = MetricsRegistry()
+            per_genome: Dict[str, dict] = {}
+            for genome in self.population:
+                result = run_campaign(
+                    self.trials_per_gen, ArmsRaceTrial(genome),
+                    seed_base=seed_base, workers=self.workers)
+                if result.failures:
+                    raise RuntimeError(
+                        f"arms-race genome {genome.name!r} generation "
+                        f"{gen}: {len(result.failures)} trial(s) failed: "
+                        f"{result.failures[0]}")
+                trials = [result.per_seed[s]
+                          for s in sorted(result.per_seed)]
+                worlds_run += len(trials)
+                for trial in trials:
+                    gen_registry.merge(
+                        MetricsRegistry.from_snapshot(trial["metrics"]))
+                per_genome[genome.name] = self._score_genome(
+                    genome, trials, thresholds, ttd_sums, attacker_totals)
+            adaptive.observe(gen_registry)
+            campaign_registry.merge(
+                MetricsRegistry.from_snapshot(gen_registry.snapshot()))
+            record = {
+                "generation": gen,
+                "seed_base": seed_base,
+                "thresholds": dict(thresholds),
+                "per_genome": per_genome,
+            }
+            gen_records.append(record)
+            if self.writer is not None:
+                self.writer.write_record("generation", **record)
+                self.writer.write_snapshot(gen, seed_base,
+                                           gen_registry.snapshot())
+            if self.store is not None:
+                self.store.update(gen, seed_base, gen_registry.snapshot())
+            if self.on_generation is not None:
+                self.on_generation(record)
+            # Retune for the next generation from the updated window.
+            thresholds = adaptive.thresholds()
+            trajectory.append(dict(thresholds))
+
+        pareto = self._build_pareto(campaign_registry, ttd_sums,
+                                    attacker_totals)
+        result = ArmsRaceResult(
+            population=[g.to_dict() for g in self.population],
+            generations=gen_records,
+            thresholds_trajectory=trajectory,
+            pareto=pareto,
+            merged_metrics=campaign_registry,
+            worlds_run=worlds_run,
+        )
+        if self.writer is not None:
+            self.writer.write_final(
+                campaign_registry.snapshot(),
+                scorecard=pareto.to_json_dict(),
+                summary={"worlds_run": worlds_run,
+                         "final_thresholds": thresholds})
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _score_genome(genome: EvasionGenome, trials: List[dict],
+                      thresholds: Dict[str, float],
+                      ttd_sums: Dict[Tuple[str, str], List[float]],
+                      attacker_totals: Dict[str, Dict[str, float]]) -> dict:
+        """One genome's generation stats at the current operating point."""
+        detected = 0
+        compromised = 0
+        ttd_sum, ttd_n = 0.0, 0
+        for trial in trials:
+            crossings = trial["crossings"]
+            # World-level bank decision: did *any* detector, at its
+            # current tuned threshold, open an alert?
+            first: Optional[float] = None
+            for det, thr in thresholds.items():
+                t = crossings.get(det, {}).get(_thr_token(thr))
+                if t is not None and (first is None or t < first):
+                    first = t
+            if first is not None:
+                detected += 1
+                ttd_sum += first
+                ttd_n += 1
+            if trial["compromised"]:
+                compromised += 1
+            if genome.rogue:
+                # Defender ttd cells: every crossed (detector, thr).
+                for det, per_thr in crossings.items():
+                    for token, t in per_thr.items():
+                        if t is not None:
+                            acc = ttd_sums.setdefault((det, token),
+                                                      [0.0, 0])
+                            acc[0] += t
+                            acc[1] += 1
+        n = len(trials)
+        totals = attacker_totals[genome.name]
+        totals["worlds"] += n
+        totals["detected"] += detected
+        totals["compromised"] += compromised
+        totals["ttd_sum"] += ttd_sum
+        totals["ttd_n"] += ttd_n
+        return {
+            "worlds": n,
+            "detection_rate": detected / n,
+            "compromise_rate": compromised / n,
+            "mean_ttd_s": (ttd_sum / ttd_n) if ttd_n else None,
+        }
+
+    def _build_pareto(self, campaign_registry: MetricsRegistry,
+                      ttd_sums: Dict[Tuple[str, str], List[float]],
+                      attacker_totals: Dict[str, Dict[str, float]]
+                      ) -> ParetoScorecard:
+        scorecard = Scorecard.from_registry(campaign_registry)
+        defender = []
+        for row in scorecard.rows():
+            acc = ttd_sums.get((row.detector, _thr_token(row.threshold)))
+            defender.append({
+                "detector": row.detector,
+                "threshold": row.threshold,
+                "tpr": row.tpr,
+                "fpr": row.fpr,
+                "mean_ttd_s": (acc[0] / acc[1]) if acc and acc[1] else None,
+            })
+        attacker = []
+        for genome in self.population:
+            if not genome.rogue:
+                continue  # the FP control is not racing
+            totals = attacker_totals[genome.name]
+            n = int(totals["worlds"])
+            attacker.append({
+                "genome": genome.name,
+                "worlds": n,
+                "detection_rate": totals["detected"] / n if n else 0.0,
+                "compromise_rate": totals["compromised"] / n if n else 0.0,
+                "mean_ttd_s": (totals["ttd_sum"] / totals["ttd_n"]
+                               if totals["ttd_n"] else None),
+            })
+        return ParetoScorecard(defender, attacker, scorecard)

@@ -2,9 +2,17 @@
 
 Ground truth comes from the scenario itself — we *built* the world, so
 we know whether a rogue is present and when the attack started.
-:func:`evaluate` replays a finished capture offline once per
-(detector, threshold) point of each detector's ``SWEEP`` ladder and
-scores the world-level binary decision:
+:func:`evaluate` scans a finished capture **once per detector**,
+records the evidence-score trajectory (every ``(t, subject,
+cumulative-score)`` event in stream order), and derives every
+``SWEEP`` threshold cell offline from that trajectory.  The key fact
+making this sound: detector ``observe()`` is threshold-independent
+(thresholds only gate the correlator), and the correlator opens its
+first alert at the first event where any subject's running score
+reaches the threshold — so each cell falls out of the trajectory with
+no rescan, bit-identical to the per-threshold rescan the repo used to
+do (kept as :func:`evaluate_rescan` and pinned by a differential test).
+The scored decision per world:
 
 =====================  ======================  =====================
                         rogue present           rogue absent
@@ -25,7 +33,7 @@ Metric names::
     wids.eval.<detector>.ttd_s                  timer, default threshold
 
 :class:`Scorecard` renders any registry (or merged snapshot) holding
-those names back into rows, ROC points, tables, and JSON.
+those names back into rows, ROC points, AUC, tables, and JSON.
 """
 
 from __future__ import annotations
@@ -36,10 +44,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.dot11.capture import FrameCapture
 from repro.obs.metrics import CounterMetric, MetricsRegistry, TimerMetric
 from repro.obs.runtime import obs_metrics
-from repro.wids.detectors import DETECTORS
+from repro.wids.detectors import DETECTORS, Detector
 from repro.wids.engine import WidsEngine
 
-__all__ = ["GroundTruth", "Scorecard", "evaluate"]
+__all__ = [
+    "GroundTruth",
+    "Scorecard",
+    "evaluate",
+    "evaluate_rescan",
+    "evaluate_with_crossings",
+    "score_trajectory",
+]
 
 _CELLS = ("tp", "fp", "fn", "tn")
 
@@ -61,6 +76,93 @@ def _thr_value(token: str) -> float:
     return float(token[3:].replace("_", "."))
 
 
+def score_trajectory(
+    detector: Detector, capture: FrameCapture
+) -> List[Tuple[float, str, float]]:
+    """One detector's evidence trajectory over a capture, stream order.
+
+    Each element is ``(t, subject, cumulative_score)`` — the subject's
+    running evidence total *after* folding that event in.  The per-
+    subject accumulation is the same sequence of float additions the
+    correlator performs (``0.0 + s1 + s2 + ...`` in stream order), so
+    cumulative scores here equal correlator evidence scores bit-for-bit.
+    """
+    events: List[Tuple[float, str, float]] = []
+    totals: Dict[str, float] = {}
+    for cap in list(capture.frames):
+        t = cap.time
+        for detection in detector.observe(cap):
+            cum = totals.get(detection.subject, 0.0) + detection.score
+            totals[detection.subject] = cum
+            events.append((t, detection.subject, cum))
+    return events
+
+
+def _first_crossing_t(
+    events: List[Tuple[float, str, float]], threshold: float
+) -> Optional[float]:
+    """Time of the first alert a correlator at ``threshold`` would open.
+
+    The correlator checks ``score >= threshold`` on every ingest while
+    the pair has no open alert, so the first event (in stream order)
+    whose cumulative score reaches the threshold is exactly the first
+    alert's opening time — any earlier-crossing subject would have
+    produced an earlier event.
+    """
+    for t, _subject, cum in events:
+        if cum >= threshold:
+            return t
+    return None
+
+
+def evaluate_with_crossings(
+    capture: FrameCapture,
+    truth: GroundTruth,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+) -> Tuple[MetricsRegistry, Dict[str, Dict[float, Optional[float]]]]:
+    """Single-pass :func:`evaluate` that also returns the crossing map.
+
+    The second return value maps ``detector -> {threshold: t}`` with the
+    sim time a correlator at that threshold would open its first alert
+    (``None`` = never) — every ``SWEEP`` point of every detector, from
+    the same one trajectory pass that produced the cells.  The arms-race
+    campaign scores *tuned* operating points offline from this map
+    without re-running any world.
+    """
+    local = registry if registry is not None else MetricsRegistry()
+    ambient = obs_metrics()
+
+    def incr(name: str) -> None:
+        local.incr(name)
+        if ambient is not None and ambient is not local:
+            ambient.incr(name)
+
+    def add_time(name: str, seconds: float) -> None:
+        local.add_time(name, seconds)
+        if ambient is not None and ambient is not local:
+            ambient.add_time(name, seconds)
+
+    crossings: Dict[str, Dict[float, Optional[float]]] = {}
+    for name, cls in DETECTORS.items():
+        events = score_trajectory(cls(), capture)
+        crossings[name] = {}
+        for threshold in cls.SWEEP:
+            first_t = _first_crossing_t(events, threshold)
+            crossings[name][threshold] = first_t
+            alerted = first_t is not None
+            if truth.rogue_present:
+                cell = "tp" if alerted else "fn"
+            else:
+                cell = "fp" if alerted else "tn"
+            incr(f"wids.eval.{name}.{_thr_token(threshold)}.{cell}")
+            if (alerted and truth.rogue_present
+                    and threshold == cls.default_threshold):
+                add_time(f"wids.eval.{name}.ttd_s",
+                         max(0.0, first_t - truth.attack_start_s))
+    return local, crossings
+
+
 def evaluate(
     capture: FrameCapture,
     truth: GroundTruth,
@@ -69,11 +171,32 @@ def evaluate(
 ) -> MetricsRegistry:
     """Score every registered detector over one world's capture.
 
+    Single-pass: each detector scans the capture once; every threshold
+    cell of its ``SWEEP`` ladder is derived from the recorded
+    trajectory.  Cells and time-to-detect are bit-identical to
+    :func:`evaluate_rescan` (the differential test pins this).
+
     Writes ``wids.eval.*`` into ``registry`` (a fresh one when omitted)
     **and** into the ambient :func:`obs_metrics` registry when one is
     installed — the local copy keeps experiment payloads independent of
     ambient observability state (zero-perturbation), the ambient copy
     is what the fleet ships and merges.
+    """
+    local, _ = evaluate_with_crossings(capture, truth, registry=registry)
+    return local
+
+
+def evaluate_rescan(
+    capture: FrameCapture,
+    truth: GroundTruth,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Reference implementation: full engine rescan per (detector, thr).
+
+    O(frames x detectors x thresholds) — kept as the trusted-by-
+    construction oracle the single-pass :func:`evaluate` is diffed
+    against, not for production use.
     """
     local = registry if registry is not None else MetricsRegistry()
     ambient = obs_metrics()
@@ -202,6 +325,27 @@ class Scorecard:
         points.sort(key=lambda p: -p[2])
         return points
 
+    def auc(self, detector: str) -> Optional[float]:
+        """Trapezoidal area under the detector's ROC curve.
+
+        The measured sweep points are closed with the implicit ROC
+        endpoints ``(0, 0)`` (threshold -> infinity: never alert) and
+        ``(1, 1)`` (threshold -> 0: always alert), so even a one-point
+        sweep yields a meaningful area — a single perfect operating
+        point ``(fpr=0, tpr=1)`` integrates to 1.0, and a single
+        chance-line point to 0.5.  Returns ``None`` when the registry
+        holds no rows for the detector.
+        """
+        points = self.roc(detector)
+        if not points:
+            return None
+        pts = sorted((p[0], p[1]) for p in points)
+        pts = [(0.0, 0.0)] + pts + [(1.0, 1.0)]
+        area = 0.0
+        for (x1, y1), (x2, y2) in zip(pts, pts[1:]):
+            area += (x2 - x1) * (y1 + y2) / 2.0
+        return area
+
     def ttd(self, detector: str) -> Optional[dict]:
         """Merged time-to-detect timer dict, or None if never detected."""
         return self._ttd.get(detector)
@@ -220,17 +364,20 @@ class Scorecard:
         # repro.wids (for the ambient watch), and repro.core imports
         # the radio layer — a module-level import would be a cycle.
         from repro.core.report import format_table
+        aucs = {det: self.auc(det) for det in self.detectors()}
         rows = []
         for r in self._rows:
             mean_ttd = self.mean_ttd_s(r.detector)
+            auc = aucs[r.detector]
             rows.append([
                 r.detector, f"{r.threshold:g}", r.tp, r.fp, r.fn, r.tn,
                 r.precision, r.recall, r.fpr,
+                f"{auc:.3f}" if auc is not None else "-",
                 f"{mean_ttd:.3f}" if mean_ttd is not None else "-",
             ])
         return format_table(
             ["detector", "thr", "tp", "fp", "fn", "tn",
-             "precision", "recall", "fpr", "mean_ttd_s"],
+             "precision", "recall", "fpr", "auc", "mean_ttd_s"],
             rows, title=title)
 
     def to_json_dict(self) -> dict:
@@ -239,5 +386,6 @@ class Scorecard:
             "roc": {det: [{"fpr": p[0], "tpr": p[1], "threshold": p[2]}
                           for p in self.roc(det)]
                     for det in self.detectors()},
+            "auc": {det: self.auc(det) for det in self.detectors()},
             "time_to_detect_s": dict(self._ttd),
         }

@@ -6,7 +6,7 @@ from repro.attacks.deauth import DeauthAttacker
 from repro.attacks.sniffer import MonitorSniffer
 from repro.core.scenario import build_corp_scenario
 from repro.defense.audit import AuthorizedAp, radio_site_survey, wired_side_census
-from repro.defense.detection import SeqCtlMonitor
+from repro.wids.detectors import SeqCtlMonitor
 from repro.dot11.capture import CapturedFrame, FrameCapture
 from repro.dot11.frames import make_beacon
 from repro.dot11.mac import MacAddress
@@ -172,38 +172,21 @@ def test_wired_census_catches_uninventoried_device():
 
 
 # ----------------------------------------------------------------------
-# the repro.defense.detection shim (moved to repro.wids in PR 4)
+# the repro.defense.detection tombstone (shim retired in PR 10)
 # ----------------------------------------------------------------------
 
-def test_shim_import_warns_with_deprecation():
-    # Module caching suppresses repeat warnings, so force a fresh import.
+def test_removed_shim_import_fails_with_migration_message():
+    # The deprecated re-export shim is gone; the path now raises an
+    # ImportError that names the new home.  Force a fresh import — a
+    # cached (failed) module entry would mask the message.
     import importlib
     import sys
 
     sys.modules.pop("repro.defense.detection", None)
-    with pytest.warns(DeprecationWarning,
-                      match="repro.defense.detection is deprecated"):
-        module = importlib.import_module("repro.defense.detection")
-    # the shim still re-exports the moved names
-    from repro.wids.detectors import SeqCtlMonitor, SpoofVerdict
-    assert module.SeqCtlMonitor is SeqCtlMonitor
-    assert module.SpoofVerdict is SpoofVerdict
-
-
-def test_shim_warning_attributed_to_importer_via_stacklevel():
-    # stacklevel=2 walks out of the shim (and the importlib bootstrap
-    # frames the warnings machinery skips), so the warning points at the
-    # file whose ``import`` statement pulled the shim in — this file —
-    # not at the shim itself.
-    import sys
-    import warnings
-
-    sys.modules.pop("repro.defense.detection", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        import repro.defense.detection  # noqa: F401
-    shim_warnings = [w for w in caught
-                     if issubclass(w.category, DeprecationWarning)
-                     and "repro.defense.detection" in str(w.message)]
-    assert len(shim_warnings) == 1
-    assert shim_warnings[0].filename == __file__
+    with pytest.raises(ImportError, match=r"repro\.wids\.detectors"):
+        importlib.import_module("repro.defense.detection")
+    # The migrated names stay importable from their real home and the
+    # defense package facade.
+    from repro.defense import SeqCtlMonitor as pkg_monitor
+    from repro.wids.detectors import SeqCtlMonitor as home_monitor
+    assert pkg_monitor is home_monitor

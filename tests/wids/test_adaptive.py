@@ -1,0 +1,96 @@
+"""AdaptiveThreshold: Youden-J selection over a sliding eval window."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.wids.adaptive import AdaptiveThreshold
+from repro.wids.detectors import DETECTORS
+from repro.wids.evaluation import _thr_token
+
+
+def _gen_registry(detector, cells):
+    """Build a wids.eval registry: {threshold: (tp, fp, fn, tn)}."""
+    reg = MetricsRegistry()
+    for threshold, (tp, fp, fn, tn) in cells.items():
+        token = _thr_token(threshold)
+        for cell, n in (("tp", tp), ("fp", fp), ("fn", fn), ("tn", tn)):
+            for _ in range(n):
+                reg.incr(f"wids.eval.{detector}.{token}.{cell}")
+    return reg
+
+
+def test_youden_j_picks_the_knee():
+    adaptive = AdaptiveThreshold(window=4)
+    # thr=1: catches everything but half the benigns too (J = 0.5);
+    # thr=2: catches 0.9 with no false alarms (J = 0.9) <- the knee;
+    # thr=4: quiet but mostly blind (J = 0.2)
+    adaptive.observe(_gen_registry("fingerprint", {
+        1.0: (10, 5, 0, 5),
+        2.0: (9, 0, 1, 10),
+        4.0: (2, 0, 8, 10),
+    }))
+    assert adaptive.threshold_for("fingerprint") == 2.0
+
+
+def test_tie_breaks_toward_higher_threshold():
+    adaptive = AdaptiveThreshold()
+    # identical J at 2.0 and 3.0 -> keep the quieter configuration
+    adaptive.observe(_gen_registry("fingerprint", {
+        2.0: (9, 0, 1, 10),
+        3.0: (9, 0, 1, 10),
+    }))
+    assert adaptive.threshold_for("fingerprint") == 3.0
+
+
+def test_window_slides_old_generations_out():
+    adaptive = AdaptiveThreshold(window=2)
+    stale = _gen_registry("fingerprint", {2.0: (10, 0, 0, 10)})
+    adaptive.observe(stale)
+    # two fresh generations where 4.0 wins push the stale one out
+    fresh = _gen_registry("fingerprint", {2.0: (1, 9, 9, 1),
+                                          4.0: (9, 0, 1, 10)})
+    adaptive.observe(fresh)
+    adaptive.observe(fresh)
+    assert len(adaptive) == 2 and adaptive.observed == 3
+    assert adaptive.threshold_for("fingerprint") == 4.0
+
+
+def test_empty_window_falls_back_to_defaults():
+    adaptive = AdaptiveThreshold()
+    assert adaptive.threshold_for("fingerprint") is None
+    thresholds = adaptive.thresholds()
+    assert thresholds == {name: cls.default_threshold
+                          for name, cls in DETECTORS.items()}
+
+
+def test_observe_accepts_snapshot_dicts():
+    reg = _gen_registry("fingerprint", {2.0: (9, 0, 1, 10)})
+    a, b = AdaptiveThreshold(), AdaptiveThreshold()
+    a.observe(reg)
+    b.observe(reg.snapshot())
+    assert a.thresholds() == b.thresholds()
+    assert a.merged().snapshot() == b.merged().snapshot()
+
+
+def test_json_dict_shape():
+    adaptive = AdaptiveThreshold(window=3)
+    adaptive.observe(_gen_registry("fingerprint", {2.0: (9, 0, 1, 10)}))
+    payload = adaptive.to_json_dict()
+    assert payload["window"] == 3
+    assert payload["generations_seen"] == 1
+    assert payload["generations_windowed"] == 1
+    assert payload["thresholds"]["fingerprint"] == 2.0
+    tuned = {p["detector"]: p for p in payload["operating_points"]}
+    assert tuned["fingerprint"]["tpr"] == 0.9
+    assert tuned["fingerprint"]["fpr"] == 0.0
+
+
+def test_defaults_are_sweep_members():
+    """Retuning swaps between SWEEP rungs; the defaults must be rungs."""
+    for name, cls in DETECTORS.items():
+        assert cls.default_threshold in cls.SWEEP, name
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        AdaptiveThreshold(window=0)

@@ -1,0 +1,164 @@
+"""The arms-race campaign: Pareto machinery + serial == parallel."""
+
+import json
+
+import pytest
+
+from repro.telemetry.stream import JsonlWriter, replay
+from repro.wids.armsrace import (ArmsRaceCampaign, ArmsRaceTrial,
+                                 DEFAULT_POPULATION, EvasionGenome,
+                                 ParetoScorecard, pareto_front)
+from repro.wids.evaluation import Scorecard
+from repro.obs.metrics import MetricsRegistry
+
+# A tiny but representative population: the FP control, the naive corp
+# rogue, and one RSN-downgrade posture — both world kinds exercised.
+_POP = (
+    EvasionGenome("benign", rogue=False),
+    EvasionGenome("naive", beacon_jitter_s=0.03),
+    EvasionGenome("downgrade-wpa2", rsn_downgrade="wpa2"),
+)
+
+
+# ---------------------------------------------------------------------------
+# pareto_front units
+# ---------------------------------------------------------------------------
+
+def test_pareto_front_basic_dominance():
+    points = [
+        {"tpr": 1.0, "fpr": 0.0},   # dominates everything
+        {"tpr": 0.5, "fpr": 0.0},   # dominated by 0
+        {"tpr": 1.0, "fpr": 0.5},   # dominated by 0
+    ]
+    assert pareto_front(points, maximize=("tpr",), minimize=("fpr",)) == [0]
+
+
+def test_pareto_front_incomparable_points_all_survive():
+    points = [
+        {"tpr": 0.9, "fpr": 0.2},
+        {"tpr": 0.7, "fpr": 0.1},
+        {"tpr": 1.0, "fpr": 0.9},
+    ]
+    assert pareto_front(points, maximize=("tpr",),
+                        minimize=("fpr",)) == [0, 1, 2]
+
+
+def test_pareto_front_none_is_worst():
+    points = [
+        {"tpr": 0.9, "mean_ttd_s": 0.5},
+        {"tpr": 0.9, "mean_ttd_s": None},  # never detected: strictly worse
+    ]
+    assert pareto_front(points, maximize=("tpr",),
+                        minimize=("mean_ttd_s",)) == [0]
+    # ...and on a maximized objective too
+    points = [{"v": None}, {"v": 1.0}]
+    assert pareto_front(points, maximize=("v",)) == [1]
+
+
+def test_pareto_front_duplicate_points_both_survive():
+    points = [{"tpr": 0.5}, {"tpr": 0.5}]
+    assert pareto_front(points, maximize=("tpr",)) == [0, 1]
+    assert pareto_front([], maximize=("tpr",)) == []
+
+
+def test_pareto_scorecard_report_and_json():
+    defender = [
+        {"detector": "fingerprint", "threshold": 2.0, "tpr": 1.0,
+         "fpr": 0.0, "mean_ttd_s": 0.1},
+        {"detector": "fingerprint", "threshold": 1.0, "tpr": 1.0,
+         "fpr": 1.0, "mean_ttd_s": 0.1},
+    ]
+    attacker = [
+        {"genome": "naive", "worlds": 4, "detection_rate": 1.0,
+         "compromise_rate": 0.5, "mean_ttd_s": 0.2},
+        {"genome": "ghost", "worlds": 4, "detection_rate": 0.0,
+         "compromise_rate": 1.0, "mean_ttd_s": None},
+    ]
+    card = ParetoScorecard(defender, attacker,
+                           Scorecard.from_registry(MetricsRegistry()))
+    assert card.defender_front == [0]
+    # ghost wins detection + compromise but has no ttd (None = worst for
+    # an attacker maximizing time-to-detect): incomparable, both survive
+    assert card.attacker_front == [0, 1]
+    payload = card.to_json_dict()
+    assert payload["defender"]["front"] == [0]
+    assert payload["attacker"]["front"] == [0, 1]
+    json.dumps(payload)  # must be JSON-clean
+    text = card.report()
+    assert "defender Pareto" in text and "attacker Pareto" in text
+    assert "ghost" in text and "-" in text  # None ttd renders as "-"
+
+
+# ---------------------------------------------------------------------------
+# trials and the campaign
+# ---------------------------------------------------------------------------
+
+def test_trial_payload_shape_and_determinism():
+    trial = ArmsRaceTrial(EvasionGenome("naive", beacon_jitter_s=0.03))
+    a, b = trial(1234), trial(1234)
+    assert a == b  # same seed, same world, same payload
+    assert a["genome"] == "naive" and a["rogue"] is True
+    assert a["frames"] > 0
+    assert set(a["crossings"])  # every registered detector appears
+    reg = MetricsRegistry.from_snapshot(a["metrics"])
+    assert reg.subtree("wids.eval")
+
+
+def test_default_population_names_are_unique():
+    names = [g.name for g in DEFAULT_POPULATION]
+    assert len(names) == len(set(names))
+    assert "benign" in names  # the FP control is always raced
+
+
+def _run(workers, jsonl=None):
+    writer = JsonlWriter(jsonl) if jsonl else None
+    try:
+        return ArmsRaceCampaign(
+            population=_POP, generations=2, trials_per_gen=2,
+            seed_base=1000, workers=workers, window=2,
+            writer=writer).run()
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def test_campaign_serial_equals_parallel(tmp_path):
+    """The fleet merge law, end to end: workers=1 == workers=2."""
+    serial = _run(1, jsonl=str(tmp_path / "serial.jsonl"))
+    parallel = _run(2, jsonl=str(tmp_path / "parallel.jsonl"))
+    assert serial.to_json_dict() == parallel.to_json_dict()
+    # and the telemetry streams replay to the same merged registry
+    serial_replay = replay(str(tmp_path / "serial.jsonl"))
+    parallel_replay = replay(str(tmp_path / "parallel.jsonl"))
+    assert serial_replay.snapshot() == parallel_replay.snapshot()
+    assert serial_replay.snapshot() == serial.merged_metrics.snapshot()
+
+
+def test_campaign_shape_and_retuning(tmp_path):
+    result = _run(1)
+    assert result.worlds_run == len(_POP) * 2 * 2
+    assert len(result.generations) == 2
+    # trajectory: initial defaults + one retune per generation
+    assert len(result.thresholds_trajectory) == 3
+    from repro.wids.detectors import DETECTORS
+    defaults = {n: c.default_threshold for n, c in DETECTORS.items()}
+    assert result.thresholds_trajectory[0] == defaults
+    for thresholds in result.thresholds_trajectory:
+        for det, thr in thresholds.items():
+            assert thr in DETECTORS[det].SWEEP
+    # per-genome generation stats are rates in [0, 1]
+    for record in result.generations:
+        for stats in record["per_genome"].values():
+            assert 0.0 <= stats["detection_rate"] <= 1.0
+            assert 0.0 <= stats["compromise_rate"] <= 1.0
+    # the benign control is excluded from the attacker race
+    racing = {p["genome"] for p in result.pareto.attacker}
+    assert racing == {"naive", "downgrade-wpa2"}
+    json.dumps(result.to_json_dict())
+
+
+def test_campaign_validation():
+    with pytest.raises(ValueError):
+        ArmsRaceCampaign(generations=0)
+    with pytest.raises(ValueError):
+        ArmsRaceCampaign(trials_per_gen=0)

@@ -334,26 +334,22 @@ def test_deauth_window_prunes_old_frames():
 
 
 # ----------------------------------------------------------------------
-# the deprecation shim
+# the retired deprecation shim (tombstone since PR 10)
 # ----------------------------------------------------------------------
 
-def test_defense_detection_shim_reexports_the_migrated_classes():
-    from repro.defense import detection as shim
-    from repro.wids import detectors as home
-    assert shim.SeqCtlMonitor is home.SeqCtlMonitor
-    assert shim.SpoofVerdict is home.SpoofVerdict
-    # the package-level import follows the same objects
-    from repro.defense import SeqCtlMonitor as pkg_monitor
-    assert pkg_monitor is home.SeqCtlMonitor
-
-
-def test_defense_detection_shim_warns_on_import():
+def test_defense_detection_tombstone_raises_with_clear_message():
     import importlib
-    import warnings
+    import sys
 
-    import repro.defense.detection as shim
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        importlib.reload(shim)
-    assert any(issubclass(w.category, DeprecationWarning)
-               and "repro.wids.detectors" in str(w.message) for w in caught)
+    sys.modules.pop("repro.defense.detection", None)
+    with pytest.raises(ImportError) as exc:
+        importlib.import_module("repro.defense.detection")
+    message = str(exc.value)
+    assert "removed" in message
+    assert "repro.wids.detectors" in message
+    # package-level re-exports still resolve to the migrated classes
+    from repro.defense import SeqCtlMonitor as pkg_monitor
+    from repro.defense import SpoofVerdict as pkg_verdict
+    from repro.wids import detectors as home
+    assert pkg_monitor is home.SeqCtlMonitor
+    assert pkg_verdict is home.SpoofVerdict

@@ -8,8 +8,9 @@ from repro.dot11.mac import MacAddress
 from repro.obs import collecting
 from repro.obs.metrics import MetricsRegistry
 from repro.wids.detectors import DETECTORS
-from repro.wids.evaluation import (GroundTruth, Scorecard, _thr_token,
-                                   _thr_value, evaluate)
+from repro.wids.evaluation import (GroundTruth, Scorecard, ScoreRow,
+                                   _thr_token, _thr_value, evaluate,
+                                   evaluate_rescan, evaluate_with_crossings)
 
 AP = MacAddress("aa:bb:cc:dd:00:01")
 
@@ -140,9 +141,59 @@ def test_scorecard_snapshot_roundtrip_and_report():
     assert "fingerprint" in text and "mean_ttd_s" in text
 
 
+def test_single_pass_matches_rescan_differential():
+    """PR 10 equivalence: trajectory-derived cells == per-threshold rescan.
+
+    The single-pass evaluate() must be bit-identical to the old
+    O(frames x detectors x thresholds) engine rescan on every world
+    shape — rogue (with ttd timers) and benign (tn-only) alike.
+    """
+    worlds = [
+        (_rogue_capture(), GroundTruth(rogue_present=True,
+                                       attack_start_s=0.005)),
+        (_benign_capture(), GroundTruth(rogue_present=False)),
+    ]
+    for capture, truth in worlds:
+        fast = evaluate(capture, truth)
+        slow = evaluate_rescan(capture, truth)
+        assert fast.snapshot() == slow.snapshot()
+
+
+def test_crossings_match_engine_first_alert():
+    from repro.wids.engine import WidsEngine
+
+    capture = _rogue_capture()
+    _reg, crossings = evaluate_with_crossings(
+        capture, GroundTruth(rogue_present=True))
+    for det, cls in DETECTORS.items():
+        assert set(crossings[det]) == set(cls.SWEEP)
+        engine = WidsEngine([cls()], record_metrics=False)
+        engine.scan(capture)
+        expected = engine.alerts[0].t if engine.alerts else None
+        assert crossings[det][cls.default_threshold] == expected
+
+
+def _one_point_card(tp, fp, fn, tn):
+    return Scorecard([ScoreRow(detector="d", threshold=1.0,
+                               tp=tp, fp=fp, fn=fn, tn=tn)], {})
+
+
+def test_auc_degenerate_rocs():
+    # a single perfect operating point (fpr=0, tpr=1) closes to area 1.0
+    assert _one_point_card(tp=1, fp=0, fn=0, tn=1).auc("d") == 1.0
+    # never-alert (0, 0) and always-alert (1, 1) both close to chance
+    assert _one_point_card(tp=0, fp=0, fn=1, tn=1).auc("d") == 0.5
+    assert _one_point_card(tp=1, fp=1, fn=0, tn=0).auc("d") == 0.5
+    # no rows for the detector at all -> None, and json carries the value
+    card = _one_point_card(tp=1, fp=0, fn=0, tn=1)
+    assert card.auc("missing") is None
+    assert card.to_json_dict()["auc"] == {"d": 1.0}
+    assert "auc" in card.report()
+
+
 def test_scorecard_empty_registry():
     card = Scorecard.from_registry(MetricsRegistry())
     assert card.rows() == [] and card.detectors() == []
     assert card.mean_ttd_s("fingerprint") is None
-    assert card.to_json_dict() == {"rows": [], "roc": {},
+    assert card.to_json_dict() == {"rows": [], "roc": {}, "auc": {},
                                    "time_to_detect_s": {}}
